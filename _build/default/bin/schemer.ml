@@ -1,0 +1,259 @@
+(* schemer: run Scheme files or a REPL on any of the three backends, with
+   every control-representation knob exposed as a flag.
+
+     dune exec bin/schemer.exe -- [FILE...]            run files
+     dune exec bin/schemer.exe                         REPL
+     dune exec bin/schemer.exe -- --backend heap ...   heap-frame VM
+     dune exec bin/schemer.exe -- --seg-words 256 --overflow callcc ...
+     dune exec bin/schemer.exe -- --stats -e '(fib 20)'
+     dune exec bin/schemer.exe -- --disassemble -e '(lambda (x) x)' *)
+
+open Cmdliner
+
+let run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~exprs
+    ~files ~interactive =
+  let stats = Stats.create () in
+  let s = Scheme.create ~backend ~stats ~optimize () in
+  if corpus then Scheme.load_corpus s;
+  let dump_output () =
+    let out = Scheme.output s in
+    if out <> "" then print_string out
+  in
+  let eval_chunk ~echo src =
+    if disassemble then
+      List.iter
+        (fun code -> print_string (Bytecode.disassemble_deep code))
+        (Compiler.compile_string ~optimize (Scheme.globals s) src)
+    else
+      match Scheme.eval s src with
+      | v ->
+          dump_output ();
+          if echo && v <> Rt.Void then print_endline (Values.write_string v)
+      | exception Rt.Scheme_error (msg, irritants) ->
+          dump_output ();
+          Printf.eprintf "error: %s%s\n%!" msg
+            (match irritants with
+            | [] -> ""
+            | vs ->
+                " "
+                ^ String.concat " " (List.map Values.write_string vs))
+      | exception Rt.Shot_continuation ->
+          dump_output ();
+          Printf.eprintf "error: one-shot continuation invoked twice\n%!"
+      | exception Sexp.Read_error (msg, pos) ->
+          Printf.eprintf "read error at %d:%d: %s\n%!" pos.Sexp.line
+            pos.Sexp.col msg
+      | exception Expander.Expand_error (msg, pos) ->
+          Printf.eprintf "syntax error at %d:%d: %s\n%!" pos.Sexp.line
+            pos.Sexp.col msg
+      | exception Compiler.Compile_error msg ->
+          Printf.eprintf "compile error: %s\n%!" msg
+  in
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      eval_chunk ~echo:false src)
+    files;
+  List.iter (fun e -> eval_chunk ~echo:true e) exprs;
+  if interactive then begin
+    print_endline
+      "schemer repl -- segmented-stack Scheme with one-shot continuations";
+    print_endline "(exit with ctrl-d; continuation lines prompt with ..)";
+    (* crude balance check: parens/brackets outside strings and comments *)
+    let balance s =
+      let depth = ref 0 and in_str = ref false and esc = ref false in
+      String.iter
+        (fun c ->
+          if !in_str then
+            if !esc then esc := false
+            else if c = '\\' then esc := true
+            else if c = '"' then in_str := false
+            else ()
+          else
+            match c with
+            | '"' -> in_str := true
+            | '(' | '[' -> incr depth
+            | ')' | ']' -> decr depth
+            | _ -> ())
+        s;
+      !depth
+    in
+    let rec loop () =
+      print_string "> ";
+      match read_line () with
+      | exception End_of_file -> print_newline ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+          let rec complete acc =
+            if balance acc > 0 then begin
+              print_string ".. ";
+              match read_line () with
+              | exception End_of_file -> acc
+              | more -> complete (acc ^ "\n" ^ more)
+            end
+            else acc
+          in
+          eval_chunk ~echo:true (complete line);
+          loop ()
+    in
+    loop ()
+  end;
+  if stats_flag then begin
+    Printf.eprintf "\n-- machine counters --\n";
+    List.iter
+      (fun (name, v) ->
+        if v <> 0 then Printf.eprintf "%-18s %d\n" name v)
+      (Stats.to_rows stats)
+  end;
+  0
+
+let backend_conv =
+  Arg.enum [ ("stack", `Stack); ("heap", `Heap); ("oracle", `Oracle) ]
+
+let overflow_conv =
+  Arg.enum [ ("call1cc", Control.As_call1cc); ("callcc", Control.As_callcc) ]
+
+let promotion_conv =
+  Arg.enum [ ("eager", Control.Eager); ("shared-flag", Control.Shared_flag) ]
+
+let capture_conv =
+  Arg.enum [ ("seal", Control.Seal); ("copy", Control.Copy_on_capture) ]
+
+let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
+    no_cache promotion capture corpus stats_flag disassemble optimize exprs
+    files =
+  let config =
+    {
+      Control.default_config with
+      Control.seg_words;
+      copy_bound;
+      overflow_policy = overflow;
+      hysteresis_words = hysteresis;
+      oneshot_seal =
+        (match seal_disp with
+        | None -> Control.Whole_segment
+        | Some n -> Control.Seal_displacement n);
+      cache_enabled = not no_cache;
+      promotion;
+      capture;
+    }
+  in
+  let backend =
+    match backend_kind with
+    | `Stack -> Scheme.Stack config
+    | `Heap -> Scheme.Heap
+    | `Oracle -> Scheme.Oracle
+  in
+  let interactive = exprs = [] && files = [] in
+  run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~exprs
+    ~files ~interactive
+
+let cmd =
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv `Stack
+      & info [ "backend" ] ~doc:"Execution backend: stack, heap, or oracle.")
+  in
+  let seg_words =
+    Arg.(
+      value
+      & opt int Control.default_config.Control.seg_words
+      & info [ "seg-words" ] ~doc:"Stack segment size in words.")
+  in
+  let copy_bound =
+    Arg.(
+      value
+      & opt int Control.default_config.Control.copy_bound
+      & info [ "copy-bound" ]
+          ~doc:"Copy bound for multi-shot invocation (words).")
+  in
+  let overflow =
+    Arg.(
+      value
+      & opt overflow_conv Control.As_call1cc
+      & info [ "overflow" ]
+          ~doc:"Overflow policy: call1cc (implicit call/1cc) or callcc.")
+  in
+  let hysteresis =
+    Arg.(
+      value
+      & opt int Control.default_config.Control.hysteresis_words
+      & info [ "hysteresis" ]
+          ~doc:"Words copied up on one-shot overflow (anti-bounce).")
+  in
+  let seal_disp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seal-displacement" ]
+          ~doc:
+            "Seal one-shot captures at this many words of headroom instead \
+             of encapsulating the whole segment.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the segment cache.")
+  in
+  let promotion =
+    Arg.(
+      value
+      & opt promotion_conv Control.Eager
+      & info [ "promotion" ] ~doc:"Promotion strategy: eager or shared-flag.")
+  in
+  let capture =
+    Arg.(
+      value
+      & opt capture_conv Control.Seal
+      & info [ "capture" ]
+          ~doc:
+            "call/cc capture strategy: seal (the paper's zero-copy              segmented stack) or copy (eager copy-on-capture baseline).")
+  in
+  let corpus =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Preload the benchmark corpus (tak, fib, threads, ...).")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print machine counters on exit (stderr).")
+  in
+  let disassemble =
+    Arg.(
+      value & flag
+      & info [ "disassemble" ]
+          ~doc:"Print bytecode instead of evaluating.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Enable the AST optimizer (constant folding; assumes standard              bindings).")
+  in
+  let exprs =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "eval" ] ~docv:"EXPR" ~doc:"Evaluate $(docv).")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Files to run.")
+  in
+  let term =
+    Term.(
+      const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
+      $ seal_disp $ no_cache $ promotion $ capture $ corpus $ stats_flag
+      $ disassemble $ optimize $ exprs $ files)
+  in
+  Cmd.v
+    (Cmd.info "schemer" ~version:"1.0"
+       ~doc:
+         "Scheme with one-shot continuations on a segmented control stack \
+          (Bruggeman/Waddell/Dybvig, PLDI'96)")
+    term
+
+let () = exit (Cmd.eval' cmd)

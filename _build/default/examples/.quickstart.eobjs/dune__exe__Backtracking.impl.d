@@ -1,0 +1,1 @@
+examples/backtracking.ml: Control Printf Programs Scheme Stats

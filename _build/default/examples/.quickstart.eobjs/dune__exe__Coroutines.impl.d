@@ -1,0 +1,1 @@
+examples/coroutines.ml: Control Printf Programs Scheme Stats

@@ -1,0 +1,1 @@
+examples/mandelbrot.ml: Printf Scheme

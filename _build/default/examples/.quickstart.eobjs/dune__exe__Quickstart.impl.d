@@ -1,0 +1,1 @@
+examples/quickstart.ml: Control Printf Rt Scheme Stats

@@ -1,0 +1,1 @@
+examples/sieve.ml: Control Printf Scheme Stats

@@ -1,0 +1,79 @@
+(* Nondeterministic search (amb) -- the application class that NEEDS
+   multi-shot continuations: a choice point is re-entered once per
+   alternative, which one-shot continuations cannot express (paper
+   Section 2 calls this out explicitly).
+
+   Run with: dune exec examples/backtracking.exe *)
+
+let () =
+  print_endline "== backtracking with multi-shot continuations (amb) ==\n";
+  let stats = Stats.create () in
+  let s =
+    Scheme.create ~backend:(Scheme.Stack Control.default_config) ~stats ()
+  in
+  Scheme.load_corpus s;
+  ignore (Scheme.eval s Programs.amb);
+
+  (* Pythagorean triples. *)
+  Printf.printf "first pythagorean triple under 25 => %s\n"
+    (Scheme.eval_string s "(pythagorean-triple 25)");
+
+  (* Logic puzzle: x*y = 24, x+y = 10, x < y. *)
+  Printf.printf "x*y=24, x+y=10, x<y               => %s\n"
+    (Scheme.eval_string s
+       {|(begin
+          (%amb-init)
+          (call/cc
+           (lambda (found)
+             (let ((x (amb-range 1 9)))
+               (let ((y (amb-range 1 9)))
+                 (amb-require (= (* x y) 24))
+                 (amb-require (= (+ x y) 10))
+                 (amb-require (< x y))
+                 (found (list x y)))))))|});
+
+  (* N-queens by nondeterministic placement: place one queen per column,
+     backtracking through amb on conflicts. *)
+  Printf.printf "6-queens placement                => %s\n"
+    (Scheme.eval_string s
+       {|(begin
+          (%amb-init)
+          (define (safe? row dist placed)
+            (if (null? placed)
+                #t
+                (and (not (= (car placed) row))
+                     (not (= (car placed) (+ row dist)))
+                     (not (= (car placed) (- row dist)))
+                     (safe? row (+ dist 1) (cdr placed)))))
+          (call/cc
+           (lambda (found)
+             (let place ((col 0) (placed '()))
+               (if (= col 6)
+                   (found (reverse placed))
+                   (let ((row (amb-range 0 5)))
+                     (amb-require (safe? row 1 placed))
+                     (place (+ col 1) (cons row placed))))))))|});
+
+  (* Enumerate ALL solutions by failing back into the search after
+     recording each one -- re-entering choice points many times. *)
+  Printf.printf "all 4-queens solutions            => %s\n"
+    (Scheme.eval_string s
+       {|(begin
+          (%amb-init)
+          (define solutions '())
+          (call/cc
+           (lambda (done)
+             (set! %amb-fail (lambda () (done (reverse solutions))))
+             (let place ((col 0) (placed '()))
+               (if (= col 4)
+                   (begin
+                     (set! solutions (cons (reverse placed) solutions))
+                     (%amb-fail))
+                   (let ((row (amb-range 0 3)))
+                     (amb-require (safe? row 1 placed))
+                     (place (+ col 1) (cons row placed))))))))|});
+
+  Printf.printf
+    "\nthe search re-entered choice points through %d multi-shot \
+     invocations (%d words copied)\n"
+    stats.Stats.invokes_multi stats.Stats.words_copied

@@ -1,0 +1,49 @@
+(* Flonum showcase: render the Mandelbrot set in ASCII from Scheme,
+   capturing the output with with-output-to-string — while the whole
+   render runs inside an engine so it is preempted every 4,000 procedure
+   calls (the slice count is reported at the end).
+
+   Run with: dune exec examples/mandelbrot.exe *)
+
+let () =
+  print_endline "== mandelbrot over flonums, sliced by an engine ==\n";
+  let s = Scheme.create () in
+  Scheme.load_corpus s;
+  ignore
+    (Scheme.eval s
+       {|(define (render width height max-iter)
+           (let loop-y ((y 0))
+             (if (< y height)
+                 (begin
+                   (let loop-x ((x 0))
+                     (if (< x width)
+                         (let* ((cr (- (/ (* 3.0 (exact->inexact x))
+                                          (exact->inexact width))
+                                       2.25))
+                                (ci (- (/ (* 2.2 (exact->inexact y))
+                                          (exact->inexact height))
+                                      1.1))
+                                (i (mandel-point cr ci max-iter)))
+                           (display
+                            (cond ((= i max-iter) "#")
+                                  ((> i (quotient max-iter 2)) "+")
+                                  ((> i (quotient max-iter 4)) ".")
+                                  (else " ")))
+                           (loop-x (+ x 1)))))
+                   (newline)
+                   (loop-y (+ y 1))))))
+
+         (define slices 0)
+         (define picture
+           (with-output-to-string
+            (lambda ()
+              (let drive ((e (make-engine (lambda () (render 60 22 24)))))
+                (e 4000
+                   (lambda (remaining v) v)
+                   (lambda (next)
+                     (set! slices (+ slices 1))
+                     (drive next)))))))|});
+  ignore (Scheme.eval s "(display picture)");
+  print_string (Scheme.output s);
+  Printf.printf "\nrendered across %s engine slices of 4,000 calls each\n"
+    (Scheme.eval_string s "slices")

@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Array Ast Bytecode Expander Globals Hashtbl List Optimize Option Rt

@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Ast Globals Macro Rt

@@ -1,0 +1,1 @@
+lib/compiler/optimize.ml: Ast Int List Option Rt Values

@@ -1,0 +1,33 @@
+(** Compilation of core forms to bytecode.
+
+    The pipeline is: scope analysis (unique bindings, capture and assignment
+    flags, free-variable lists), assignment conversion (variables that are
+    both assigned and captured live in heap boxes), flat-closure conversion,
+    and code generation for the accumulator machine interpreted by the VMs.
+
+    Direct applications of lambda expressions ([let] after expansion) are
+    inlined into the enclosing frame: they allocate no closure, which is
+    what gives the stack model its near-zero per-frame overhead (paper §5).
+
+    Frame layout (offsets from the frame pointer): slot 0 holds the return
+    address, slot 1 the closure being invoked, slots 2.. the arguments,
+    then locals and evaluation temporaries.  Each code object records
+    [frame_words], the maximum extent the body can touch, so a single check
+    at [Enter] covers every in-frame write. *)
+
+exception Compile_error of string
+
+val compile_top : Globals.t -> Ast.top -> Rt.code
+(** Compile one top-level form into a zero-argument code object that
+    evaluates it (and performs the global definition, for [Define]). *)
+
+val compile_program : Globals.t -> Ast.top list -> Rt.code list
+
+val compile_string :
+  ?optimize:bool -> ?menv:Macro.menv -> Globals.t -> string -> Rt.code list
+(** Read, expand, (optionally) optimize, and compile a whole program. *)
+
+val compile_eval : ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
+(** Compile a runtime datum for [(eval datum)]: a single zero-argument
+    code object that runs the (possibly spliced) top-level forms in
+    sequence and returns the last value. *)

@@ -1,0 +1,15 @@
+(** Optional AST-level optimizer (off by default).
+
+    Performs constant folding of the standard arithmetic/comparison/list
+    primitives, branch pruning of constant [if] tests, flattening of
+    nested [begin]s, and elimination of effect-free expressions in
+    non-final [begin] positions.
+
+    Folding assumes the standard bindings of the folded primitives are
+    never assigned ([set!] on [+] etc.); enabling the optimizer on a
+    program that redefines them changes its meaning, exactly as with
+    "assume standard bindings" switches in production Scheme compilers. *)
+
+val expr : Ast.t -> Ast.t
+val top : Ast.top -> Ast.top
+val program : Ast.top list -> Ast.top list

@@ -1,0 +1,1 @@
+lib/control/control.ml: Array List Printf Rt Stats Sys Values

@@ -1,0 +1,1 @@
+lib/control/control.mli: Rt Stats

@@ -1,0 +1,1 @@
+lib/control/stats.ml: Format List

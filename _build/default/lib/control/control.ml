@@ -1,0 +1,563 @@
+open Rt
+
+type overflow_policy = As_call1cc | As_callcc
+type oneshot_seal = Whole_segment | Seal_displacement of int
+type promotion_strategy = Eager | Shared_flag
+type capture_strategy = Seal | Copy_on_capture
+
+type config = {
+  seg_words : int;
+  copy_bound : int;
+  overflow_policy : overflow_policy;
+  hysteresis_words : int;
+  oneshot_seal : oneshot_seal;
+  cache_enabled : bool;
+  cache_max : int;
+  promotion : promotion_strategy;
+  capture : capture_strategy;
+}
+
+let default_config =
+  {
+    seg_words = 16 * 1024;
+    copy_bound = 128;
+    overflow_policy = As_call1cc;
+    hysteresis_words = 64;
+    oneshot_seal = Whole_segment;
+    cache_enabled = true;
+    cache_max = 1024;
+    promotion = Eager;
+    capture = Seal;
+  }
+
+type t = {
+  cfg : config;
+  stats : Stats.t;
+  mutable sr : stack_record;
+  mutable fp : int;
+  mutable cache : value array list;
+  mutable cache_len : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Segment allocation and the segment cache (paper Section 3.2)        *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_segment m words =
+  let words = max words m.cfg.seg_words in
+  match m.cache with
+  | seg :: rest when m.cfg.cache_enabled && words <= Array.length seg ->
+      m.cache <- rest;
+      m.cache_len <- m.cache_len - 1;
+      m.stats.cache_hits <- m.stats.cache_hits + 1;
+      seg
+  | _ ->
+      m.stats.seg_allocs <- m.stats.seg_allocs + 1;
+      m.stats.seg_alloc_words <- m.stats.seg_alloc_words + words;
+      Array.make words Void
+
+let release_segment m seg =
+  if
+    m.cfg.cache_enabled
+    && Array.length seg = m.cfg.seg_words
+    && m.cache_len < m.cfg.cache_max
+  then begin
+    m.cache <- seg :: m.cache;
+    m.cache_len <- m.cache_len + 1;
+    m.stats.cache_releases <- m.stats.cache_releases + 1
+  end
+
+let clear_cache m =
+  m.cache <- [];
+  m.cache_len <- 0
+
+(* The active record wholly owns its array iff it covers it entirely;
+   only then may the array be recycled when the stack is abandoned. *)
+let wholly_owned sr = sr.base = 0 && sr.size = Array.length sr.seg
+
+let fresh_record seg ~base ~size ~link =
+  { seg; base; size; current = 0; link; ret = Void; promoted = ref false }
+
+let create ?stats cfg =
+  assert (cfg.seg_words >= 64);
+  assert (cfg.copy_bound >= 16);
+  (match cfg.oneshot_seal with
+  | Seal_displacement h -> assert (h >= 1)
+  | Whole_segment -> ());
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let m =
+    {
+      cfg;
+      stats;
+      sr = fresh_record [||] ~base:0 ~size:0 ~link:None;
+      fp = 0;
+      cache = [];
+      cache_len = 0;
+    }
+  in
+  let seg = alloc_segment m cfg.seg_words in
+  m.sr <- fresh_record seg ~base:0 ~size:(Array.length seg) ~link:None;
+  m
+
+let init_frame m ret0 =
+  (* Recycle the previous run's segment when nothing else can reference
+     it (it covers its whole array, so no sealed record shares it). *)
+  if m.sr.base = 0 && m.sr.size = Array.length m.sr.seg && m.sr.size > 0 then
+    release_segment m m.sr.seg;
+  let seg = alloc_segment m m.cfg.seg_words in
+  m.sr <- fresh_record seg ~base:0 ~size:(Array.length seg) ~link:None;
+  m.fp <- 0;
+  seg.(0) <- ret0
+
+let seg_limit m = m.sr.base + m.sr.size
+let room m n = m.fp + n <= seg_limit m
+let frame_ret m = m.sr.seg.(m.fp)
+
+(* ------------------------------------------------------------------ *)
+(* Record classification                                               *)
+(* ------------------------------------------------------------------ *)
+
+let debug = ref (Sys.getenv_opt "CONTROL_DEBUG" <> None)
+let rid = ref 0
+let ids : (stack_record * int) list ref = ref []
+let id_of (r : stack_record) =
+  match List.find_opt (fun (r', _) -> r' == r) !ids with
+  | Some (_, i) -> i
+  | None ->
+      incr rid;
+      ids := (r, !rid) :: !ids;
+      !rid
+let dbg fmt = Printf.eprintf fmt
+
+let is_shot r = r.size = -1
+let is_multi r = r.current = r.size || !(r.promoted)
+
+let retaddr_of = function
+  | Retaddr r -> r
+  | v -> Values.err "control: corrupt frame: expected return address" [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Promotion (paper Section 3.3)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let promote_chain m link =
+  match m.cfg.promotion with
+  | Shared_flag -> (
+      (* All adjacent one-shot records share one boxed flag: one store. *)
+      match link with
+      | Some r when (not (is_shot r)) && not (is_multi r) ->
+          r.promoted := true;
+          m.stats.promotions <- m.stats.promotions + 1
+      | _ -> ())
+  | Eager ->
+      (* Linear walk, stopping at the first multi-shot record: everything
+         below it was promoted when that record was created. *)
+      let rec go = function
+        | Some r when (not (is_shot r)) && not (is_multi r) ->
+            r.size <- r.current;
+            m.stats.promotions <- m.stats.promotions + 1;
+            go r.link
+        | _ -> ()
+      in
+      go link
+
+(* New one-shot records join the promotion-flag group of the one-shot
+   record directly below them, so a single shared-flag store promotes the
+   whole contiguous group. *)
+let inherit_flag m link =
+  match m.cfg.promotion with
+  | Eager -> ref false
+  | Shared_flag -> (
+      match link with
+      | Some r when (not (is_shot r)) && not (is_multi r) -> r.promoted
+      | _ -> ref false)
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic baseline: copy the occupied portion to a fresh heap block
+   at capture time.  The running stack is left untouched (no sealing, no
+   underflow mark), so capture is O(occupied) but the running code is
+   unaffected. *)
+let capture_multi_copying m =
+  let sr = m.sr in
+  let occupied = m.fp - sr.base in
+  if occupied = 0 && sr.seg.(m.fp) = Underflow_mark then begin
+    let k =
+      match sr.link with
+      | Some k -> k
+      | None -> Values.err "capture at stack bottom with no link" []
+    in
+    promote_chain m (Some k);
+    m.stats.captures_multi <- m.stats.captures_multi + 1;
+    k
+  end
+  else begin
+    let copy = Array.make (max occupied 1) Underflow_mark in
+    Array.blit sr.seg sr.base copy 0 occupied;
+    m.stats.words_copied <- m.stats.words_copied + occupied;
+    m.stats.seg_allocs <- m.stats.seg_allocs + 1;
+    m.stats.seg_alloc_words <- m.stats.seg_alloc_words + max occupied 1;
+    let k =
+      {
+        seg = copy;
+        base = 0;
+        size = occupied;
+        current = occupied;
+        link = sr.link;
+        ret = sr.seg.(m.fp);
+        promoted = ref true;
+      }
+    in
+    ignore (retaddr_of k.ret);
+    promote_chain m k.link;
+    m.stats.captures_multi <- m.stats.captures_multi + 1;
+    k
+  end
+
+let capture_multi_sealing m =
+  let sr = m.sr in
+  if sr.seg.(m.fp) = Underflow_mark then begin
+    (* Tail-position capture on an empty segment: the link record itself is
+       the continuation (paper Section 3.2). *)
+    let k =
+      match sr.link with
+      | Some k -> k
+      | None -> Values.err "capture at stack bottom with no link" []
+    in
+    if not (is_multi k) then begin
+      (* Promote the whole chain starting at k itself. *)
+      (match m.cfg.promotion with
+      | Shared_flag ->
+          k.promoted := true;
+          m.stats.promotions <- m.stats.promotions + 1
+      | Eager ->
+          k.size <- k.current;
+          m.stats.promotions <- m.stats.promotions + 1;
+          promote_chain m k.link)
+    end;
+    m.stats.captures_multi <- m.stats.captures_multi + 1;
+    k
+  end
+  else begin
+    let occupied = m.fp - sr.base in
+    let k =
+      {
+        seg = sr.seg;
+        base = sr.base;
+        size = occupied;
+        current = occupied;
+        link = sr.link;
+        ret = sr.seg.(m.fp);
+        promoted = ref true;
+      }
+    in
+    ignore (retaddr_of k.ret);
+    sr.seg.(m.fp) <- Underflow_mark;
+    sr.base <- m.fp;
+    sr.size <- sr.size - occupied;
+    sr.link <- Some k;
+    promote_chain m k.link;
+    m.stats.captures_multi <- m.stats.captures_multi + 1;
+    k
+  end
+
+let capture_multi m =
+  match m.cfg.capture with
+  | Seal -> capture_multi_sealing m
+  | Copy_on_capture -> capture_multi_copying m
+
+let capture_oneshot m =
+  let sr = m.sr in
+  if sr.seg.(m.fp) = Underflow_mark then begin
+    let k =
+      match sr.link with
+      | Some k -> k
+      | None -> Values.err "capture at stack bottom with no link" []
+    in
+    m.stats.captures_oneshot <- m.stats.captures_oneshot + 1;
+    if !debug then dbg "cap1cc(empty) -> r%d\n" (id_of k);
+    k
+  end
+  else begin
+    let occupied = m.fp - sr.base in
+    let ret = sr.seg.(m.fp) in
+    ignore (retaddr_of ret);
+    m.stats.captures_oneshot <- m.stats.captures_oneshot + 1;
+    match m.cfg.oneshot_seal with
+    | Seal_displacement headroom when sr.size - occupied - headroom >= 64 ->
+        (* Section 3.4: seal at a fixed displacement above the occupied
+           portion; continue on the remainder of the same segment. *)
+        let sealed = occupied + headroom in
+        let k =
+          {
+            seg = sr.seg;
+            base = sr.base;
+            size = sealed;
+            current = occupied;
+            link = sr.link;
+            ret;
+            promoted = inherit_flag m sr.link;
+          }
+        in
+        sr.base <- sr.base + sealed;
+        sr.size <- sr.size - sealed;
+        sr.link <- Some k;
+        m.fp <- sr.base;
+        sr.seg.(m.fp) <- Underflow_mark;
+        k
+    | _ ->
+        (* Encapsulate the entire segment; continue on a fresh one. *)
+        let k =
+          {
+            seg = sr.seg;
+            base = sr.base;
+            size = sr.size;
+            current = occupied;
+            link = sr.link;
+            ret;
+            promoted = inherit_flag m sr.link;
+          }
+        in
+        let seg = alloc_segment m m.cfg.seg_words in
+        m.sr <-
+          fresh_record seg ~base:0 ~size:(Array.length seg) ~link:(Some k);
+        m.fp <- 0;
+        seg.(0) <- Underflow_mark;
+        if !debug then dbg "cap1cc -> r%d (seg=%d base=%d cur=%d)\n" (id_of k) (Array.length k.seg) k.base k.current;
+        k
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Split a saved segment so that the portion to be copied is at most the
+   copy bound, walking frame boundaries top-down via the displacement
+   words (paper Section 3.2; details in Hieb/Dybvig/Bruggeman PLDI'90). *)
+let split_for_copy m k content =
+  let bound = m.cfg.copy_bound in
+  let top = content - (retaddr_of k.ret).rdisp in
+  let s = ref top in
+  let continue = ref (top > 0 && content - top <= bound) in
+  while !continue do
+    match k.seg.(k.base + !s) with
+    | Retaddr r ->
+        let p = !s - r.rdisp in
+        if p > 0 && content - p <= bound then s := p else continue := false
+    | _ -> continue := false
+  done;
+  let s = if content - !s <= bound then !s else top in
+  if s <= 0 then content (* single oversized frame: copy everything *)
+  else begin
+    let krest =
+      {
+        seg = k.seg;
+        base = k.base;
+        size = s;
+        current = s;
+        link = k.link;
+        ret = k.seg.(k.base + s);
+        promoted = ref true;
+      }
+    in
+    ignore (retaddr_of krest.ret);
+    k.seg.(k.base + s) <- Underflow_mark;
+    k.base <- k.base + s;
+    k.size <- content - s;
+    k.current <- content - s;
+    k.link <- Some krest;
+    m.stats.splits <- m.stats.splits + 1;
+    content - s
+  end
+
+let reinstate_multi m k =
+  let content = k.current in
+  let content =
+    if content > m.cfg.copy_bound then split_for_copy m k content else content
+  in
+  let sr = m.sr in
+  if sr.size < content then begin
+    if wholly_owned sr && sr.seg != k.seg then release_segment m sr.seg;
+    let seg = alloc_segment m (content + 64) in
+    m.sr <- fresh_record seg ~base:0 ~size:(Array.length seg) ~link:None
+  end;
+  let sr = m.sr in
+  Array.blit k.seg k.base sr.seg sr.base content;
+  m.stats.words_copied <- m.stats.words_copied + content;
+  sr.link <- k.link;
+  let r = retaddr_of k.ret in
+  m.fp <- sr.base + content - r.rdisp;
+  m.stats.invokes_multi <- m.stats.invokes_multi + 1;
+  r
+
+let reinstate_oneshot m k =
+  let sr = m.sr in
+  if wholly_owned sr && sr.seg != k.seg then release_segment m sr.seg;
+  m.sr <- fresh_record k.seg ~base:k.base ~size:k.size ~link:k.link;
+  let r = retaddr_of k.ret in
+  m.fp <- k.base + k.current - r.rdisp;
+  (* Mark shot: both size fields set to -1 (paper Figure 4). *)
+  k.size <- -1;
+  k.current <- -1;
+  m.stats.invokes_oneshot <- m.stats.invokes_oneshot + 1;
+  r
+
+let reinstate m k =
+  if !debug then
+    dbg "reinstate r%d (size=%d current=%d shot=%b multi=%b)\n" (id_of k)
+      k.size k.current (is_shot k) (is_multi k);
+  if is_shot k then raise Shot_continuation
+  else if is_multi k then reinstate_multi m k
+  else reinstate_oneshot m k
+
+let underflow m =
+  match m.sr.link with
+  | None -> None
+  | Some k ->
+      m.stats.underflows <- m.stats.underflows + 1;
+      Some (reinstate m k)
+
+(* ------------------------------------------------------------------ *)
+(* Overflow as implicit continuation capture (paper Section 3.2)       *)
+(* ------------------------------------------------------------------ *)
+
+let overflow m ~live_top ~need =
+  m.stats.overflows <- m.stats.overflows + 1;
+  let sr = m.sr in
+  let seg = sr.seg in
+  let split, link' =
+    match m.cfg.overflow_policy with
+    | As_callcc ->
+        (* Seal everything below the current frame as a multi-shot record;
+           the entire new segment must refill before the next overflow, so
+           no bouncing — but unwinding will copy it all back. *)
+        if m.fp = sr.base then (m.fp, sr.link)
+        else begin
+          let occupied = m.fp - sr.base in
+          let k =
+            {
+              seg;
+              base = sr.base;
+              size = occupied;
+              current = occupied;
+              link = sr.link;
+              ret = seg.(m.fp);
+              promoted = ref true;
+            }
+          in
+          ignore (retaddr_of k.ret);
+          seg.(m.fp) <- Underflow_mark;
+          promote_chain m k.link;
+          m.stats.captures_multi <- m.stats.captures_multi + 1;
+          (m.fp, Some k)
+        end
+    | As_call1cc ->
+        (* Seal as a one-shot record, copying up the top few frames
+           (hysteresis) so an immediate return does not bounce. *)
+        let s = ref m.fp in
+        let continue = ref true in
+        while !continue && !s > sr.base
+              && live_top - !s < m.cfg.hysteresis_words do
+          match seg.(!s) with
+          | Retaddr r -> s := !s - r.rdisp
+          | _ -> continue := false
+        done;
+        let s = !s in
+        if s = sr.base then (s, sr.link)
+        else begin
+          let k =
+            {
+              seg;
+              base = sr.base;
+              size = sr.size;
+              current = s - sr.base;
+              link = sr.link;
+              ret = seg.(s);
+              promoted = inherit_flag m sr.link;
+            }
+          in
+          ignore (retaddr_of k.ret);
+          m.stats.captures_oneshot <- m.stats.captures_oneshot + 1;
+          (s, Some k)
+        end
+  in
+  let live = live_top - split in
+  let abandoned_whole = split = sr.base in
+  let old_seg = seg in
+  let old_owned = wholly_owned sr in
+  let newlen = max m.cfg.seg_words (need + live + 16) in
+  let nseg = alloc_segment m newlen in
+  Array.blit seg split nseg 0 live;
+  m.stats.words_copied <- m.stats.words_copied + live;
+  (* When a record was sealed at [split], the copied frame's return slot
+     must become the underflow mark; when the split landed at the segment
+     base, slot 0 is already the bottom frame's correct return slot
+     (underflow mark or the halt return address). *)
+  if split > sr.base then nseg.(0) <- Underflow_mark;
+  m.sr <- fresh_record nseg ~base:0 ~size:(Array.length nseg) ~link:link';
+  m.fp <- m.fp - split;
+  if abandoned_whole && old_owned && old_seg != nseg then
+    release_segment m old_seg
+
+let ensure_room m ~live_top ~need =
+  if not (room m need) then
+    overflow m ~live_top:(min live_top (seg_limit m)) ~need
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let live_chain r =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some r -> go (r :: acc) r.link
+  in
+  go [] (Some r)
+
+let chain_depth m = List.length (live_chain m.sr) - 1
+
+let segment_words_live m =
+  List.fold_left (fun acc r -> acc + max r.size 0) 0 (live_chain m.sr)
+
+(* Walk the whole logical stack from the current frame, reading procedure
+   names out of the return addresses -- the paper's debugger/exception-
+   handler stack walk, crossing segment boundaries through the record
+   chain. *)
+let backtrace ?(limit = 64) m =
+  let names = ref [] in
+  let count = ref 0 in
+  let rec in_segment seg f link =
+    if !count < limit then
+      match seg.(f) with
+      | Retaddr r ->
+          incr count;
+          names := r.rcode.cname :: !names;
+          if f - r.rdisp >= 0 && r.rdisp > 0 then
+            in_segment seg (f - r.rdisp) link
+      | Underflow_mark -> (
+          match link with
+          | Some k when not (is_shot k) -> at_record k
+          | _ -> ())
+      | _ -> ()
+  and at_record k =
+    match k.ret with
+    | Retaddr r when !count < limit ->
+        incr count;
+        names := r.rcode.cname :: !names;
+        let f = k.base + k.current - r.rdisp in
+        if f >= k.base then in_segment k.seg f k.link
+    | _ -> ()
+  in
+  in_segment m.sr.seg m.fp m.sr.link;
+  List.rev !names
+
+let walk_frames seg ~base ~top =
+  let rec go acc f =
+    let acc = f :: acc in
+    match seg.(base + f) with
+    | Retaddr r when r.rdisp > 0 && f - r.rdisp >= 0 -> go acc (f - r.rdisp)
+    | _ -> List.rev acc
+  in
+  if top < 0 then [] else go [] top

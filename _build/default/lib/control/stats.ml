@@ -1,0 +1,111 @@
+type t = {
+  mutable instrs : int;
+  mutable calls : int;
+  mutable frames : int;
+  mutable prim_calls : int;
+  mutable captures_multi : int;
+  mutable captures_oneshot : int;
+  mutable invokes_multi : int;
+  mutable invokes_oneshot : int;
+  mutable underflows : int;
+  mutable overflows : int;
+  mutable splits : int;
+  mutable promotions : int;
+  mutable words_copied : int;
+  mutable seg_allocs : int;
+  mutable seg_alloc_words : int;
+  mutable cache_hits : int;
+  mutable cache_releases : int;
+  mutable closures_made : int;
+  mutable boxes_made : int;
+  mutable heap_frames : int;
+  mutable heap_frame_words : int;
+  mutable cow_copies : int;
+}
+
+let create () =
+  {
+    instrs = 0;
+    calls = 0;
+    frames = 0;
+    prim_calls = 0;
+    captures_multi = 0;
+    captures_oneshot = 0;
+    invokes_multi = 0;
+    invokes_oneshot = 0;
+    underflows = 0;
+    overflows = 0;
+    splits = 0;
+    promotions = 0;
+    words_copied = 0;
+    seg_allocs = 0;
+    seg_alloc_words = 0;
+    cache_hits = 0;
+    cache_releases = 0;
+    closures_made = 0;
+    boxes_made = 0;
+    heap_frames = 0;
+    heap_frame_words = 0;
+    cow_copies = 0;
+  }
+
+let reset t =
+  t.instrs <- 0;
+  t.calls <- 0;
+  t.frames <- 0;
+  t.prim_calls <- 0;
+  t.captures_multi <- 0;
+  t.captures_oneshot <- 0;
+  t.invokes_multi <- 0;
+  t.invokes_oneshot <- 0;
+  t.underflows <- 0;
+  t.overflows <- 0;
+  t.splits <- 0;
+  t.promotions <- 0;
+  t.words_copied <- 0;
+  t.seg_allocs <- 0;
+  t.seg_alloc_words <- 0;
+  t.cache_hits <- 0;
+  t.cache_releases <- 0;
+  t.closures_made <- 0;
+  t.boxes_made <- 0;
+  t.heap_frames <- 0;
+  t.heap_frame_words <- 0;
+  t.cow_copies <- 0
+
+let to_rows t =
+  [
+    ("instrs", t.instrs);
+    ("calls", t.calls);
+    ("frames", t.frames);
+    ("prim-calls", t.prim_calls);
+    ("captures-multi", t.captures_multi);
+    ("captures-oneshot", t.captures_oneshot);
+    ("invokes-multi", t.invokes_multi);
+    ("invokes-oneshot", t.invokes_oneshot);
+    ("underflows", t.underflows);
+    ("overflows", t.overflows);
+    ("splits", t.splits);
+    ("promotions", t.promotions);
+    ("words-copied", t.words_copied);
+    ("seg-allocs", t.seg_allocs);
+    ("seg-alloc-words", t.seg_alloc_words);
+    ("cache-hits", t.cache_hits);
+    ("cache-releases", t.cache_releases);
+    ("closures-made", t.closures_made);
+    ("boxes-made", t.boxes_made);
+    ("heap-frames", t.heap_frames);
+    ("heap-frame-words", t.heap_frame_words);
+    ("cow-copies", t.cow_copies);
+  ]
+
+let names = List.map fst (to_rows (create ()))
+let get t name = List.assoc name (to_rows t)
+
+let copy t = { t with instrs = t.instrs }
+
+let pp fmt t =
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Format.fprintf fmt "%-18s %d@." name v)
+    (to_rows t)

@@ -1,0 +1,41 @@
+(** Instrumentation counters for the control substrate and the VMs.
+
+    Counters are the reproduction's stand-in for the paper's hardware
+    measurements: copy volume, allocation volume, and dispatch counts scale
+    the same way the paper's instruction counts and memory numbers do. *)
+
+type t = {
+  mutable instrs : int;  (** VM instructions dispatched *)
+  mutable calls : int;  (** closure calls (incl. tail calls) *)
+  mutable frames : int;  (** non-tail frames pushed *)
+  mutable prim_calls : int;
+  mutable captures_multi : int;
+  mutable captures_oneshot : int;
+  mutable invokes_multi : int;
+  mutable invokes_oneshot : int;
+  mutable underflows : int;
+  mutable overflows : int;
+  mutable splits : int;
+  mutable promotions : int;  (** one-shot records promoted (eager or flagged) *)
+  mutable words_copied : int;  (** stack words copied (invoke + overflow) *)
+  mutable seg_allocs : int;  (** fresh segments allocated *)
+  mutable seg_alloc_words : int;
+  mutable cache_hits : int;
+  mutable cache_releases : int;
+  mutable closures_made : int;
+  mutable boxes_made : int;
+  mutable heap_frames : int;  (** heap VM: frames allocated *)
+  mutable heap_frame_words : int;
+  mutable cow_copies : int;  (** heap VM: copy-on-write frame copies *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val get : t -> string -> int
+(** Look a counter up by name; raises [Not_found] for unknown names. *)
+
+val names : string list
+val to_rows : t -> (string * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+(* A small CML-flavoured concurrency library over one-shot continuations —
+   the application area the paper's introduction calls out (thread systems
+   for GUIs; Reppy's CML is citation [21]).
+
+   Everything is user-level Scheme on the preemptive scheduler of
+   threads.ml: [spawn] adds a thread; synchronous [channel]s block senders
+   and receivers by parking their one-shot continuations in the channel's
+   queues; [mailbox]es are asynchronous; [cml-select] takes whichever of
+   several channels is ready first.  Parking and resuming a thread costs
+   one call/1cc capture and one invocation: a segment swap each way, no
+   copying. *)
+
+let source =
+  {scheme|
+;; ---------------------------------------------------------------------
+;; Spawning onto the running scheduler
+;; ---------------------------------------------------------------------
+
+;; Add a thread to the ready queue of the scheduler in threads.ml.  Must
+;; be called from inside (run-threads ...) -- typically from the initial
+;; thread.
+(define (spawn thunk)
+  (%tq-push! (lambda () (thunk) (%thread-done))))
+
+;; Yield the processor voluntarily.
+(define (yield)
+  (%thread-capture
+   (lambda (k)
+     (%tq-push! k)
+     (%thread-next))))
+
+;; Park the current thread: capture it one-shot, hand the continuation to
+;; [register!] (which stores it somewhere), and run the next thread.
+(define (%park! register!)
+  (%thread-capture
+   (lambda (k)
+     (register! k)
+     (%thread-next))))
+
+;; ---------------------------------------------------------------------
+;; Synchronous channels
+;; ---------------------------------------------------------------------
+
+;; channel = #(channel senders receivers) where senders is a list of
+;; (value . k) of blocked senders and receivers a list of blocked ks.
+
+(define (make-channel) (vector 'channel '() '()))
+
+(define (channel? c)
+  (and (vector? c) (= (vector-length c) 3) (eq? (vector-ref c 0) 'channel)))
+
+(define (%chan-senders c) (vector-ref c 1))
+(define (%chan-receivers c) (vector-ref c 2))
+(define (%chan-set-senders! c v) (vector-set! c 1 v))
+(define (%chan-set-receivers! c v) (vector-set! c 2 v))
+
+(define (%take-last! getf putf)
+  ;; FIFO: waiters are consed on, so take from the far end.
+  (let ((l (getf)))
+    (let ((last (last-pair l)))
+      (if (eq? l last)
+          (begin (putf '()) (car last))
+          (let trim ((l l))
+            (if (eq? (cdr l) last)
+                (begin (set-cdr! l '()) (car last))
+                (trim (cdr l))))))))
+
+;; Send v on c; blocks until a receiver takes it.  The queue check and
+;; the dequeue must not be separated by a preemption (another thread
+;; could drain the queue in between), so the whole operation is critical.
+(define (channel-send c v)
+  (%critical
+   (lambda ()
+     (if (null? (%chan-receivers c))
+         ;; no receiver: park with the value
+         (%park!
+          (lambda (k)
+            (%chan-set-senders! c (cons (cons v k) (%chan-senders c)))))
+         ;; receiver waiting: wake it with the value, keep running
+         (let ((rk (%take-last! (lambda () (%chan-receivers c))
+                                (lambda (l) (%chan-set-receivers! c l)))))
+           (%tq-push! (lambda () (rk v)))
+           #t)))))
+
+;; Receive from c; blocks until a sender provides a value.
+(define (channel-recv c)
+  (%critical
+   (lambda ()
+     (if (null? (%chan-senders c))
+         (%park!
+          (lambda (k)
+            (%chan-set-receivers! c (cons k (%chan-receivers c)))))
+         (let ((entry (%take-last! (lambda () (%chan-senders c))
+                                   (lambda (l) (%chan-set-senders! c l)))))
+           ;; wake the sender, deliver its value here
+           (%tq-push! (cdr entry))
+           (car entry))))))
+
+;; Nondestructive readiness tests.
+(define (channel-ready-to-recv? c) (not (null? (%chan-senders c))))
+(define (channel-ready-to-send? c) (not (null? (%chan-receivers c))))
+
+;; Take from whichever channel has a sender ready, yielding until one has
+;; (a simplified CML select over receive events).
+(define (cml-select channels)
+  (let loop ()
+    (let ((hit (%critical
+                (lambda ()
+                  (let scan ((cs channels))
+                    (cond ((null? cs) #f)
+                          ((channel-ready-to-recv? (car cs))
+                           (cons (car cs) (channel-recv (car cs))))
+                          (else (scan (cdr cs)))))))))
+      (if hit hit (begin (yield) (loop))))))
+
+;; ---------------------------------------------------------------------
+;; Asynchronous mailboxes
+;; ---------------------------------------------------------------------
+
+;; mailbox = #(mailbox messages blocked-receivers)
+
+(define (make-mailbox) (vector 'mailbox '() '()))
+
+(define (mailbox? m)
+  (and (vector? m) (= (vector-length m) 3) (eq? (vector-ref m 0) 'mailbox)))
+
+(define (mailbox-post! m v)
+  (%critical
+   (lambda ()
+     (if (null? (vector-ref m 2))
+         (vector-set! m 1 (cons v (vector-ref m 1)))
+         (let ((rk (%take-last! (lambda () (vector-ref m 2))
+                                (lambda (l) (vector-set! m 2 l)))))
+           (%tq-push! (lambda () (rk v))))))))
+
+(define (mailbox-take m)
+  (%critical
+   (lambda ()
+     (if (null? (vector-ref m 1))
+         (%park! (lambda (k) (vector-set! m 2 (cons k (vector-ref m 2)))))
+         (%take-last! (lambda () (vector-ref m 1))
+                      (lambda (l) (vector-set! m 1 l)))))))
+
+(define (mailbox-empty? m) (null? (vector-ref m 1)))
+|scheme}

@@ -1,0 +1,7 @@
+(** CML-flavoured concurrency over one-shot continuations (the paper's
+    citation [21]): [spawn], [yield], synchronous [channel]s that park
+    blocked threads' continuations, a simplified [cml-select], and
+    asynchronous mailboxes.  Runs inside the preemptive scheduler of
+    {!Threads}. *)
+
+val source : string

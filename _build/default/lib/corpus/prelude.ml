@@ -1,0 +1,306 @@
+(* The Scheme-level runtime library, loaded into a machine before user
+   code.  Everything here is plain Scheme over the machine primitives:
+
+   - [call-with-values] over the [values]-carrier protocol;
+   - [dynamic-wind] with the winder list, and [call/cc]/[call/1cc]
+     wrappers that unwind/rewind on invocation (Chez-style);
+   - the usual list/vector library procedures;
+   - engines in the Dybvig-Hieb construction over the VM timer and
+     [%call/1cc]. *)
+
+let source =
+  {scheme|
+;; ---------------------------------------------------------------------
+;; Multiple values
+;; ---------------------------------------------------------------------
+
+(define (call-with-values producer consumer)
+  (apply consumer (%values->list (producer))))
+
+;; ---------------------------------------------------------------------
+;; dynamic-wind and continuation wrappers
+;; ---------------------------------------------------------------------
+
+(define %winders '())
+
+(define (%common-tail x y)
+  (let ((lx (length x)) (ly (length y)))
+    (let loop ((x (if (> lx ly) (list-tail x (- lx ly)) x))
+               (y (if (> ly lx) (list-tail y (- ly lx)) y)))
+      (if (eq? x y) x (loop (cdr x) (cdr y))))))
+
+(define (%do-winds to)
+  (let ((tail (%common-tail %winders to)))
+    ;; unwind: run the after-thunks of winders being exited, inner first
+    (let unwind ((l %winders))
+      (if (eq? l tail)
+          #f
+          (begin
+            (set! %winders (cdr l))
+            ((cdar l))
+            (unwind (cdr l)))))
+    ;; rewind: run the before-thunks of winders being entered, outer first
+    (let rewind ((l to))
+      (if (eq? l tail)
+          #f
+          (begin
+            (rewind (cdr l))
+            ((caar l))
+            (set! %winders l))))))
+
+(define (dynamic-wind before thunk after)
+  (before)
+  (set! %winders (cons (cons before after) %winders))
+  (call-with-values thunk
+    (lambda results
+      (set! %winders (cdr %winders))
+      (after)
+      (apply values results))))
+
+(define (call/cc p)
+  (let ((saved %winders))
+    (%call/cc
+     (lambda (k)
+       (p (lambda vals
+            (if (eq? %winders saved) #f (%do-winds saved))
+            (apply k vals)))))))
+
+(define call-with-current-continuation call/cc)
+
+(define (call/1cc p)
+  (let ((saved %winders))
+    (%call/1cc
+     (lambda (k)
+       (p (lambda vals
+            (if (eq? %winders saved) #f (%do-winds saved))
+            (apply k vals)))))))
+
+;; ---------------------------------------------------------------------
+;; List library
+;; ---------------------------------------------------------------------
+
+(define (%map1 f l)
+  (if (null? l) '() (cons (f (car l)) (%map1 f (cdr l)))))
+
+(define (map f . ls)
+  (if (null? (cdr ls))
+      (%map1 f (car ls))
+      (let loop ((ls ls))
+        (if (null? (car ls))
+            '()
+            (cons (apply f (%map1 car ls))
+                  (loop (%map1 cdr ls)))))))
+
+(define (for-each f . ls)
+  (if (null? (cdr ls))
+      (let loop ((l (car ls)))
+        (if (null? l)
+            (void)
+            (begin (f (car l)) (loop (cdr l)))))
+      (let loop ((ls ls))
+        (if (null? (car ls))
+            (void)
+            (begin
+              (apply f (%map1 car ls))
+              (loop (%map1 cdr ls)))))))
+
+(define (filter pred l)
+  (cond ((null? l) '())
+        ((pred (car l)) (cons (car l) (filter pred (cdr l))))
+        (else (filter pred (cdr l)))))
+
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+
+(define (fold-right f init l)
+  (if (null? l) init (f (car l) (fold-right f init (cdr l)))))
+
+(define (list-copy l) (%map1 (lambda (x) x) l))
+
+(define (last-pair l)
+  (if (pair? (cdr l)) (last-pair (cdr l)) l))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (list-index pred l)
+  (let loop ((l l) (i 0))
+    (cond ((null? l) #f)
+          ((pred (car l)) i)
+          (else (loop (cdr l) (+ i 1))))))
+
+(define (remove pred l) (filter (lambda (x) (not (pred x))) l))
+
+(define (cadar l) (car (cdr (car l))))
+(define (cddar l) (cdr (cdr (car l))))
+(define (cdddr l) (cdr (cdr (cdr l))))
+(define (cadddr l) (car (cdddr l)))
+
+;; ---------------------------------------------------------------------
+;; Vector library
+;; ---------------------------------------------------------------------
+
+(define (vector-map f v)
+  (let* ((n (vector-length v)) (out (make-vector n 0)))
+    (let loop ((i 0))
+      (if (= i n)
+          out
+          (begin (vector-set! out i (f (vector-ref v i)))
+                 (loop (+ i 1)))))))
+
+(define (vector-for-each f v)
+  (let ((n (vector-length v)))
+    (let loop ((i 0))
+      (if (= i n)
+          (void)
+          (begin (f (vector-ref v i)) (loop (+ i 1)))))))
+
+(define (string-copy s) (substring s 0 (string-length s)))
+
+;; ---------------------------------------------------------------------
+;; Error handling over one-shot continuations.
+;;
+;; The VM delivers a runtime error (or a call to [error]) to the head of
+;; %error-handlers, popping it first so a failing handler defers outward.
+;; call-with-error-handler installs a handler that escapes to the call
+;; site through a one-shot continuation, running dynamic-wind exits on
+;; the way; its value becomes the value of the whole expression.
+;; ---------------------------------------------------------------------
+
+(define %error-handlers '())
+
+(define (call-with-error-handler handler thunk)
+  (call/1cc
+   (lambda (k)
+     (let ((saved %error-handlers))
+       (dynamic-wind
+         (lambda ()
+           (set! %error-handlers
+                 (cons (lambda (msg irritants) (k (handler msg irritants)))
+                       saved)))
+         thunk
+         (lambda () (set! %error-handlers saved)))))))
+
+;; (try thunk on-error): run thunk; on any error, return (on-error msg).
+(define (try thunk on-error)
+  (call-with-error-handler (lambda (msg irritants) (on-error msg)) thunk))
+
+;; ---------------------------------------------------------------------
+;; Promises (R5RS delay/force; delay expands to (%make-promise (lambda () e)))
+;; ---------------------------------------------------------------------
+
+(define (%make-promise thunk)
+  (let ((done #f) (value #f))
+    (vector '%promise
+            (lambda ()
+              (if done
+                  value
+                  (let ((v (thunk)))
+                    ;; re-entrant force: first result wins (R5RS)
+                    (if done
+                        value
+                        (begin (set! value v) (set! done #t) value))))))))
+
+(define (promise? p)
+  (and (vector? p) (= (vector-length p) 2) (eq? (vector-ref p 0) '%promise)))
+
+(define (force p)
+  (if (promise? p) ((vector-ref p 1)) p))
+
+;; ---------------------------------------------------------------------
+;; String output capture
+;; ---------------------------------------------------------------------
+
+(define (with-output-to-string thunk)
+  (let ((mark (%output-mark)))
+    (thunk)
+    (%output-take mark)))
+
+;; ---------------------------------------------------------------------
+;; Sorting (stable merge sort)
+;; ---------------------------------------------------------------------
+
+(define (%merge less? a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((less? (car b) (car a)) (cons (car b) (%merge less? a (cdr b))))
+        (else (cons (car a) (%merge less? (cdr a) b)))))
+
+(define (sort less? l)
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (cons l '())
+        (let ((rest (split (cddr l))))
+          (cons (cons (car l) (car rest))
+                (cons (cadr l) (cdr rest))))))
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (let ((halves (split l)))
+        (%merge less? (sort less? (car halves)) (sort less? (cdr halves))))))
+
+(define (list-sort less? l) (sort less? l))
+
+;; ---------------------------------------------------------------------
+;; Engines (Dybvig & Hieb, "Engines from continuations", 1989), built on
+;; the VM timer and one-shot continuations.  An engine is a procedure
+;; (engine ticks complete expire):
+;;   - if the computation finishes within [ticks] procedure calls,
+;;     (complete remaining-ticks value) is tail-called;
+;;   - otherwise (expire new-engine) is tail-called, where new-engine
+;;     continues the computation.
+;; Nested engines share the single VM timer (no tick virtualization).
+;; ---------------------------------------------------------------------
+
+(define %engine-escape #f)
+
+;; Both escape paths reach %engine-escape with the timer already
+;; disarmed, so the timer can never fire inside the engine machinery
+;; itself (a fire there would capture a continuation that replays the
+;; escape and double-uses it).  The argument is (payload . remaining).
+
+(define (%engine-handler)
+  ;; The timer just expired (and so is disarmed): capture the rest of the
+  ;; computation as a one-shot continuation and escape to the scheduler.
+  (%call/1cc (lambda (resume) (%engine-escape (cons resume 0)))))
+
+(define (%make-engine start)
+  (lambda (ticks complete expire)
+    (if (<= ticks 0) (error 'engine "ticks must be positive" ticks))
+    (let ((result
+           (%call/1cc
+            (lambda (escape)
+              (let ((parent %engine-escape))
+                (set! %engine-escape
+                      (lambda (x)
+                        (set! %engine-escape parent)
+                        (escape x)))
+                (%set-timer! ticks %engine-handler)
+                ;; Resuming a suspended engine is a continuation
+                ;; invocation (no timer tick), so even 1-tick slices
+                ;; make progress.
+                (if (%continuation? start) (start #f) (start))
+                (error 'engine "engine computation returned unexpectedly"))))))
+      (let ((x (car result)) (remaining (cdr result)))
+        (if (and (pair? x) (eq? (car x) '%engine-done))
+            (complete remaining (cdr x))
+            (expire (%make-engine x)))))))
+
+(define (make-engine thunk)
+  (%make-engine
+   (lambda ()
+     ;; Bind the value first: %engine-escape must be read AFTER the thunk
+     ;; runs (the engine may be suspended and resumed inside it, replacing
+     ;; the escape procedure).  Freeze the clock before touching the
+     ;; engine machinery.
+     (let ((v (thunk)))
+       (let ((remaining (%get-timer)))
+         (%set-timer! 0 %engine-handler)
+         (%engine-escape (cons (cons '%engine-done v) remaining)))))))
+
+;; Run an engine to completion, restarting it with [ticks] until done.
+(define (engine-run-to-completion ticks engine)
+  (engine ticks
+          (lambda (remaining value) value)
+          (lambda (next) (engine-run-to-completion ticks next))))
+|scheme}

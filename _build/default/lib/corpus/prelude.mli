@@ -1,0 +1,7 @@
+(** The Scheme-level runtime library loaded into every session:
+    [call-with-values], [dynamic-wind] and the [call/cc]/[call/1cc]
+    wrappers, the list/vector/string library, error handling
+    ([call-with-error-handler], [try]), promises, sorting, output capture,
+    and the Dybvig-Hieb engines over the VM timer. *)
+
+val source : string

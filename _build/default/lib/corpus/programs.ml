@@ -1,0 +1,358 @@
+(* Benchmark and test programs (Scheme sources).  These are the workloads
+   behind the paper's evaluation:
+
+   - [ctak]: the call-intensive tak variant that captures and invokes a
+     continuation at every call (Section 4, first experiment);
+   - [fib]: the per-thread workload of Figure 5;
+   - [deep]: the deep-recursion workload of the overflow experiment;
+   - [tak], [ack], [queens], [boyer]: the closure-free corpus used for the
+     per-frame-overhead comparison with the heap model (Section 5). *)
+
+let tak =
+  {scheme|
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+|scheme}
+
+let fib =
+  {scheme|
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+|scheme}
+
+let ack =
+  {scheme|
+(define (ack m n)
+  (cond ((= m 0) (+ n 1))
+        ((= n 0) (ack (- m 1) 1))
+        (else (ack (- m 1) (ack m (- n 1))))))
+|scheme}
+
+(* ctak parameterized over the capture operator: set the global
+   [ctak-capture] to call/cc or call/1cc (or the raw %-operators) before
+   calling [ctak].  Every continuation captured here is invoked exactly
+   once, so one-shot continuations are legal. *)
+let ctak =
+  {scheme|
+(define ctak-capture #f)
+
+(define (ctak x y z)
+  (ctak-capture (lambda (k) (ctak-aux k x y z))))
+
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (ctak-aux
+       k
+       (ctak-capture (lambda (k) (ctak-aux k (- x 1) y z)))
+       (ctak-capture (lambda (k) (ctak-aux k (- y 1) z x)))
+       (ctak-capture (lambda (k) (ctak-aux k (- z 1) x y))))))
+|scheme}
+
+(* Deep non-tail recursion: every call pushes a frame, so [n] calls cross
+   roughly n*frame/segment segment boundaries; [deep-loop] repeats it so
+   overflow/underflow handling dominates (the paper's 10^6-call test). *)
+let deep =
+  {scheme|
+(define (deep n)
+  (if (= n 0) 0 (+ 1 (deep (- n 1)))))
+
+(define (deep-loop times n)
+  (if (= times 0)
+      'done
+      (begin (deep n) (deep-loop (- times 1) n))))
+|scheme}
+
+let queens =
+  {scheme|
+(define (queens-ok? row dist placed)
+  (if (null? placed)
+      #t
+      (and (not (= (car placed) (+ row dist)))
+           (not (= (car placed) (- row dist)))
+           (not (= (car placed) row))
+           (queens-ok? row (+ dist 1) (cdr placed)))))
+
+(define (queens-count n)
+  (let try ((row 0) (placed '()) (col 0))
+    (cond ((= col n) 1)
+          ((= row n) 0)
+          (else
+           (+ (if (queens-ok? row 1 placed)
+                  (try 0 (cons row placed) (+ col 1))
+                  0)
+              (try (+ row 1) placed col))))))
+|scheme}
+
+(* A miniature of the Boyer benchmark's core: a tautology checker over
+   if-expressions, heavy on pairs and recursion, allocating no closures. *)
+let boyer =
+  {scheme|
+(define (taut-assq x env)
+  (cond ((null? env) #f)
+        ((eq? (caar env) x) (car env))
+        (else (taut-assq x (cdr env)))))
+
+(define (tautology? x true-env false-env)
+  (cond ((eq? x 'true) #t)
+        ((eq? x 'false) #f)
+        ((symbol? x)
+         (cond ((taut-assq x true-env) #t)
+               ((taut-assq x false-env) #f)
+               (else 'unknown)))
+        ((pair? x)
+         (let ((test (cadr x)) (then (caddr x)) (else-b (cadddr x)))
+           (let ((tv (tautology? test true-env false-env)))
+             (cond ((eq? tv #t) (tautology? then true-env false-env))
+                   ((eq? tv #f) (tautology? else-b true-env false-env))
+                   (else
+                    (and (eq? #t (tautology? then
+                                             (cons (cons test #t) true-env)
+                                             false-env))
+                         (eq? #t (tautology? else-b
+                                             true-env
+                                             (cons (cons test #t) false-env)))))))))
+        (else #f)))
+
+;; Build a complete if-tree of depth d over variables p0..p(d-1); the
+;; formula (if p p p) is a tautology iff both branches are.
+(define (boyer-term depth var)
+  (if (= depth 0)
+      'true
+      (list 'if
+            (string->symbol (string-append "p" (number->string var)))
+            (boyer-term (- depth 1) (+ var 1))
+            (boyer-term (- depth 1) (+ var 1)))))
+
+(define (boyer-run depth)
+  (eq? #t (tautology? (boyer-term depth 0) '() '())))
+|scheme}
+
+(* Generators (one-shot coroutining): each value transfer uses call/1cc
+   exactly once in each direction. *)
+let generator =
+  {scheme|
+(define (make-generator producer)
+  ;; producer: (lambda (yield) ...) ; returns the final value
+  (let ((return-k #f) (resume-k #f))
+    (define (yield v)
+      (call/1cc
+       (lambda (k)
+         (set! resume-k k)
+         (return-k (cons 'more v)))))
+    (define (start)
+      (let ((r (producer yield)))
+        (return-k (cons 'done r))))
+    (lambda ()
+      (call/1cc
+       (lambda (k)
+         (set! return-k k)
+         (if resume-k
+             (resume-k #f)
+             (start)))))))
+
+(define (generator->list gen)
+  (let loop ((acc '()))
+    (let ((x (gen)))
+      (if (eq? (car x) 'done)
+          (reverse acc)
+          (loop (cons (cdr x) acc))))))
+|scheme}
+
+(* samefringe via one-shot coroutines: the classic motivating example. *)
+let samefringe =
+  {scheme|
+(define (fringe-gen tree)
+  (make-generator
+   (lambda (yield)
+     (let walk ((t tree))
+       (if (pair? t)
+           (begin (walk (car t)) (walk (cdr t)))
+           (if (null? t) #f (yield t))))
+     'end)))
+
+(define (same-fringe? t1 t2)
+  (let ((g1 (fringe-gen t1)) (g2 (fringe-gen t2)))
+    (let loop ()
+      (let ((x1 (g1)) (x2 (g2)))
+        (cond ((and (eq? (car x1) 'done) (eq? (car x2) 'done)) #t)
+              ((or (eq? (car x1) 'done) (eq? (car x2) 'done)) #f)
+              ((eqv? (cdr x1) (cdr x2)) (loop))
+              (else #f))))))
+|scheme}
+
+(* Nondeterministic choice (amb) over multi-shot continuations: the kind
+   of workload that one-shot continuations can NOT express (Section 2). *)
+let amb =
+  {scheme|
+(define %amb-fail #f)
+
+(define (%amb-init)
+  (set! %amb-fail (lambda () (error 'amb "no more choices"))))
+
+(define (amb-of-list choices)
+  (call/cc
+   (lambda (k)
+     (let ((prev-fail %amb-fail))
+       (let try ((cs choices))
+         (if (null? cs)
+             (begin (set! %amb-fail prev-fail) (prev-fail))
+             (begin
+               ;; deliver the next choice; control comes back here (with
+               ;; an ignored value) when the failure continuation fires
+               (call/cc
+                (lambda (retry)
+                  (set! %amb-fail (lambda () (retry #f)))
+                  (k (car cs))))
+               (try (cdr cs)))))))))
+(define (amb-require ok) (if ok #t (%amb-fail)))
+
+;; Pythagorean triple search: the standard amb demo.
+(define (amb-range a b)
+  (if (> a b) (%amb-fail) (amb-of-list (iota-range a b))))
+
+(define (iota-range a b)
+  (if (> a b) '() (cons a (iota-range (+ a 1) b))))
+
+(define (pythagorean-triple limit)
+  (%amb-init)
+  (call/cc
+   (lambda (found)
+     (let ((a (amb-range 1 limit)))
+       (let ((b (amb-range a limit)))
+         (let ((c (amb-range b limit)))
+           (amb-require (= (+ (* a a) (* b b)) (* c c)))
+           (found (list a b c))))))))
+|scheme}
+
+(* cpstak: tak in continuation-passing style -- every control point is a
+   heap closure (Gabriel suite; the "heap model in user code"). *)
+let cpstak =
+  {scheme|
+(define (cpstak x y z)
+  (define (tak x y z k)
+    (if (not (< y x))
+        (k z)
+        (tak (- x 1) y z
+             (lambda (v1)
+               (tak (- y 1) z x
+                    (lambda (v2)
+                      (tak (- z 1) x y
+                           (lambda (v3) (tak v1 v2 v3 k)))))))))
+  (tak x y z (lambda (a) a)))
+|scheme}
+
+(* takl: tak over unary list-encoded numbers (Gabriel suite). *)
+let takl =
+  {scheme|
+(define (listn n)
+  (if (= n 0) '() (cons n (listn (- n 1)))))
+
+(define (shorterp x y)
+  (and (pair? y) (or (null? x) (shorterp (cdr x) (cdr y)))))
+
+(define (mas x y z)
+  (if (not (shorterp y x))
+      z
+      (mas (mas (cdr x) y z)
+           (mas (cdr y) z x)
+           (mas (cdr z) x y))))
+
+(define (takl x y z) (length (mas (listn x) (listn y) (listn z))))
+|scheme}
+
+(* div: iterative vs recursive list halving (Gabriel suite). *)
+let div =
+  {scheme|
+(define (create-n n)
+  (do ((n n (- n 1)) (a '() (cons '() a)))
+      ((= n 0) a)))
+
+(define (iterative-div2 l)
+  (do ((l l (cddr l)) (a '() (cons (car l) a)))
+      ((null? l) a)))
+
+(define (recursive-div2 l)
+  (if (null? l) '() (cons (car l) (recursive-div2 (cddr l)))))
+
+(define (div-bench n runs)
+  (let ((l (create-n n)))
+    (do ((i runs (- i 1)))
+        ((= i 0) 'done)
+      (iterative-div2 l)
+      (recursive-div2 l))))
+|scheme}
+
+(* destruct-lite: destructive list surgery (Gabriel suite core). *)
+let destruct =
+  {scheme|
+(define (destruct-make n m)
+  (let outer ((i n) (acc '()))
+    (if (= i 0)
+        acc
+        (let inner ((j m) (row '()))
+          (if (= j 0)
+              (outer (- i 1) (cons row acc))
+              (inner (- j 1) (cons j row)))))))
+
+(define (destruct-mutate! rows)
+  (for-each
+   (lambda (row)
+     (let loop ((l row))
+       (if (and (pair? l) (pair? (cdr l)))
+           (begin
+             (set-car! l (+ (car l) (cadr l)))
+             (loop (cddr l))))))
+   rows)
+  rows)
+
+(define (destruct-bench n m runs)
+  (let ((rows (destruct-make n m)))
+    (do ((i runs (- i 1)))
+        ((= i 0) (length rows))
+      (destruct-mutate! rows))))
+|scheme}
+
+(* Mandelbrot membership count over flonums. *)
+let mandelbrot =
+  {scheme|
+(define (mandel-point cr ci max-iter)
+  (let loop ((zr 0.0) (zi 0.0) (i 0))
+    (cond ((= i max-iter) i)
+          ((> (+ (* zr zr) (* zi zi)) 4.0) i)
+          (else (loop (+ (- (* zr zr) (* zi zi)) cr)
+                      (+ (* 2.0 zr zi) ci)
+                      (+ i 1))))))
+
+(define (mandel-count size max-iter)
+  (let loop ((y 0) (total 0))
+    (if (= y size)
+        total
+        (let inner ((x 0) (acc total))
+          (if (= x size)
+              (loop (+ y 1) acc)
+              (inner (+ x 1)
+                     (+ acc
+                        (if (= (mandel-point
+                                (- (/ (* 3.0 (exact->inexact x))
+                                      (exact->inexact size))
+                                   2.25)
+                                (- (/ (* 3.0 (exact->inexact y))
+                                      (exact->inexact size))
+                                   1.5)
+                                max-iter)
+                               max-iter)
+                            1
+                            0))))))))
+|scheme}
+
+let all_defs =
+  String.concat "\n"
+    [
+      tak; fib; ack; ctak; deep; queens; boyer; generator; cpstak; takl; div;
+      destruct; mandelbrot;
+    ]

@@ -1,0 +1,146 @@
+(* The three thread systems of the paper's Figure 5, as user-level Scheme:
+
+   - a preemptive round-robin scheduler whose context switch captures the
+     running thread with a configurable operator (call/cc or call/1cc),
+     driven by the VM timer (one tick per procedure call);
+   - a continuation-passing-style system in which every control point is a
+     heap-allocated closure, "simulating a heap-based representation of
+     control" — switching is O(1) but every call allocates.
+
+   The schedulers deliberately use the raw capture operators: there is no
+   dynamic-wind state to adjust, which matches the thread systems the
+   paper measures. *)
+
+let scheduler =
+  {scheme|
+;; ---------------------------------------------------------------------
+;; FIFO ready queue (two-list functional queue, mutated in place)
+;; ---------------------------------------------------------------------
+
+(define %tq-front '())
+(define %tq-back '())
+
+(define (%tq-reset!)
+  (set! %tq-front '())
+  (set! %tq-back '()))
+
+(define (%tq-empty?)
+  (and (null? %tq-front) (null? %tq-back)))
+
+(define (%tq-push! x)
+  (set! %tq-back (cons x %tq-back)))
+
+(define (%tq-pop!)
+  (if (null? %tq-front)
+      (begin (set! %tq-front (reverse %tq-back))
+             (set! %tq-back '())))
+  (let ((x (car %tq-front)))
+    (set! %tq-front (cdr %tq-front))
+    x))
+
+;; ---------------------------------------------------------------------
+;; Preemptive scheduler over a capture operator
+;; ---------------------------------------------------------------------
+
+(define %thread-capture #f)   ; %call/cc or %call/1cc
+(define %thread-freq 0)       ; procedure calls per time slice
+(define %thread-exit #f)
+
+(define (%thread-handler)
+  ;; Preemption point: capture the running thread and switch.  The
+  ;; captured continuation is enqueued as-is: resuming it is a
+  ;; continuation invocation, not a procedure call, so it costs no timer
+  ;; tick and a 1-call time slice still makes progress.
+  (%thread-capture
+   (lambda (k)
+     (%tq-push! k)
+     (%thread-next))))
+
+(define (%thread-next)
+  (if (%tq-empty?)
+      (%thread-exit 'all-done)
+      (let ((t (%tq-pop!)))
+        (%set-timer! %thread-freq %thread-handler)
+        (if (%continuation? t) (t #f) (t)))))
+
+(define (%thread-done)
+  (%set-timer! 0 %thread-handler)
+  (%thread-next))
+
+;; Run thunk with the timer masked: preemption cannot interleave other
+;; threads with its execution.  Used for check-then-act critical sections
+;; (channel/mailbox queue manipulation).  If the thunk parks the thread,
+;; the scheduler re-arms the timer when something resumes it.
+(define (%critical thunk)
+  (let ((saved (%get-timer)))
+    (%set-timer! 0 %thread-handler)
+    (let ((v (thunk)))
+      (if (> saved 0) (%set-timer! saved %thread-handler))
+      v)))
+
+;; (run-threads thunks freq capture): run every thunk to completion under
+;; round-robin preemption every [freq] procedure calls, capturing switched
+;; threads with [capture].
+(define (run-threads thunks freq capture)
+  (set! %thread-capture capture)
+  (set! %thread-freq freq)
+  (%tq-reset!)
+  (for-each
+   (lambda (th) (%tq-push! (lambda () (th) (%thread-done))))
+   thunks)
+  (%call/1cc
+   (lambda (exit)
+     (set! %thread-exit exit)
+     (%thread-next))))
+
+(define (%repeat n f)
+  (if (= n 0) '() (cons (f) (%repeat (- n 1) f))))
+
+;; The Figure 5 workload: [nthreads] threads each computing (fib n).
+(define (run-fib-threads nthreads n freq capture)
+  (run-threads (%repeat nthreads (lambda () (lambda () (fib n))))
+               freq capture))
+
+;; ---------------------------------------------------------------------
+;; CPS thread system
+;; ---------------------------------------------------------------------
+
+(define %cps-fuel 0)
+(define %cps-freq 0)
+(define %cps-exit #f)
+
+(define (%cps-step thunk)
+  (if (<= %cps-fuel 0)
+      (begin (%tq-push! thunk) (%cps-next))
+      (begin (set! %cps-fuel (- %cps-fuel 1)) (thunk))))
+
+(define (%cps-next)
+  (if (%tq-empty?)
+      (%cps-exit 'all-done)
+      (let ((t (%tq-pop!)))
+        (set! %cps-fuel %cps-freq)
+        (t))))
+
+(define (cps-fib n k)
+  (%cps-step
+   (lambda ()
+     (if (< n 2)
+         (k n)
+         (cps-fib (- n 1)
+                  (lambda (a)
+                    (cps-fib (- n 2)
+                             (lambda (b) (k (+ a b))))))))))
+
+(define (run-cps-fib-threads nthreads n freq)
+  (set! %cps-freq freq)
+  (%tq-reset!)
+  (let loop ((i 0))
+    (if (< i nthreads)
+        (begin
+          (%tq-push! (lambda () (cps-fib n (lambda (r) (%cps-next)))))
+          (loop (+ i 1)))))
+  (%call/1cc
+   (lambda (exit)
+     (set! %cps-exit exit)
+     (%cps-next))))
+|scheme}

@@ -1,0 +1,6 @@
+(** The thread systems of the paper's Figure 5, as user-level Scheme:
+    a preemptive round-robin scheduler parameterized by the capture
+    operator ([run-threads], [run-fib-threads]), and a CPS system in which
+    every control point is a heap closure ([run-cps-fib-threads]). *)
+
+val scheduler : string

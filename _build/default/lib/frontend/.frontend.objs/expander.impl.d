@@ -1,0 +1,1 @@
+lib/frontend/expander.ml: Array Ast Bytes Fun Hashtbl List Macro Printf Rt Sexp String Values

@@ -1,0 +1,1 @@
+lib/frontend/expander.mli: Ast Macro Rt Sexp

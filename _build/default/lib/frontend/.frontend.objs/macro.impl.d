@@ -1,0 +1,1 @@
+lib/frontend/macro.ml: Hashtbl List Sexp

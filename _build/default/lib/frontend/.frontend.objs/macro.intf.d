@@ -1,0 +1,1 @@
+lib/frontend/macro.mli: Hashtbl Sexp

@@ -1,0 +1,45 @@
+(* Core forms produced by the expander and consumed by the compiler and the
+   oracle interpreter.  Variables are still by-name here; resolution happens
+   in the compiler's analysis pass. *)
+
+type t =
+  | Quote of Rt.value
+  | Var of string
+  | If of t * t * t
+  | Set of string * t
+  | Lambda of lambda
+  | Begin of t list                     (* non-empty *)
+  | App of t * t list
+
+and lambda = {
+  params : string list;
+  rest : string option;
+  body : t;
+  lname : string;                       (* heuristic name for diagnostics *)
+}
+
+(* A top-level form: expression or definition. *)
+type top = Expr of t | Define of string * t
+
+let rec to_string ast =
+  match ast with
+  | Quote v -> "'" ^ Values.write_string v
+  | Var x -> x
+  | If (a, b, c) ->
+      Printf.sprintf "(if %s %s %s)" (to_string a) (to_string b) (to_string c)
+  | Set (x, e) -> Printf.sprintf "(set! %s %s)" x (to_string e)
+  | Lambda { params; rest; body; _ } ->
+      let ps = String.concat " " params in
+      let ps =
+        match rest with None -> ps | Some r -> ps ^ " . " ^ r
+      in
+      Printf.sprintf "(lambda (%s) %s)" ps (to_string body)
+  | Begin es ->
+      Printf.sprintf "(begin %s)" (String.concat " " (List.map to_string es))
+  | App (f, args) ->
+      Printf.sprintf "(%s)"
+        (String.concat " " (List.map to_string (f :: args)))
+
+let top_to_string = function
+  | Expr e -> to_string e
+  | Define (x, e) -> Printf.sprintf "(define %s %s)" x (to_string e)

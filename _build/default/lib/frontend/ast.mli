@@ -1,0 +1,25 @@
+(** Core forms produced by the expander and consumed by the compiler and
+    the oracle interpreter.  Variables are still by name here; resolution
+    happens in the compiler's analysis pass. *)
+
+type t =
+  | Quote of Rt.value
+  | Var of string
+  | If of t * t * t
+  | Set of string * t
+  | Lambda of lambda
+  | Begin of t list  (** non-empty *)
+  | App of t * t list
+
+and lambda = {
+  params : string list;
+  rest : string option;
+  body : t;
+  lname : string;  (** heuristic name for diagnostics *)
+}
+
+(** A top-level form: expression or definition. *)
+type top = Expr of t | Define of string * t
+
+val to_string : t -> string
+val top_to_string : top -> string

@@ -1,0 +1,295 @@
+exception Macro_error of string * Sexp.pos
+
+let err pos msg = raise (Macro_error (msg, pos))
+let p0 : Sexp.pos = { Sexp.line = 0; col = 0 }
+
+type rule = { pat : Sexp.t; tmpl : Sexp.t }
+type rules = { literals : string list; rules : rule list }
+type menv = (string, rules) Hashtbl.t
+
+let create_menv () : menv = Hashtbl.create 16
+
+(* A pattern variable binds either one form or, under an ellipsis, a list
+   of bindings (one level per ellipsis). *)
+type binding = Single of Sexp.t | Multi of binding list
+
+let is_ellipsis = function Sexp.Sym ("...", _) -> true | _ -> false
+
+let parse_syntax_rules (d : Sexp.t) : rules =
+  match d with
+  | Sexp.List (Sexp.Sym ("syntax-rules", _) :: Sexp.List (lits, _) :: rl, pos)
+    ->
+      let literals =
+        List.map
+          (function
+            | Sexp.Sym (s, _) -> s
+            | _ -> err pos "syntax-rules: literals must be symbols")
+          lits
+      in
+      let rules =
+        List.map
+          (function
+            | Sexp.List ([ pat; tmpl ], _) -> { pat; tmpl }
+            | _ -> err pos "syntax-rules: each rule is (pattern template)")
+          rl
+      in
+      if rules = [] then err pos "syntax-rules: no rules";
+      { literals; rules }
+  | _ -> err (Sexp.pos_of d) "define-syntax: expected (syntax-rules ...)"
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pattern variables appearing in a pattern (for empty-ellipsis binding). *)
+let rec pattern_vars literals (p : Sexp.t) acc =
+  match p with
+  | Sexp.Sym ("_", _) | Sexp.Sym ("...", _) -> acc
+  | Sexp.Sym (s, _) -> if List.mem s literals then acc else s :: acc
+  | Sexp.List (ps, _) | Sexp.Vec (ps, _) ->
+      List.fold_left (fun acc p -> pattern_vars literals p acc) acc ps
+  | Sexp.Dotted (ps, final, _) ->
+      pattern_vars literals final
+        (List.fold_left (fun acc p -> pattern_vars literals p acc) acc ps)
+  | _ -> acc
+
+exception No_match
+
+let rec match_pat literals (p : Sexp.t) (f : Sexp.t) bindings =
+  match p with
+  | Sexp.Sym ("_", _) -> bindings
+  | Sexp.Sym (s, _) when List.mem s literals -> (
+      match f with
+      | Sexp.Sym (s', _) when s = s' -> bindings
+      | _ -> raise No_match)
+  | Sexp.Sym (s, _) -> (s, Single f) :: bindings
+  | Sexp.Int (n, _) -> (
+      match f with Sexp.Int (m, _) when n = m -> bindings | _ -> raise No_match)
+  | Sexp.Float (n, _) -> (
+      match f with
+      | Sexp.Float (m, _) when n = m -> bindings
+      | _ -> raise No_match)
+  | Sexp.Bool (b, _) -> (
+      match f with
+      | Sexp.Bool (b', _) when b = b' -> bindings
+      | _ -> raise No_match)
+  | Sexp.Char (c, _) -> (
+      match f with
+      | Sexp.Char (c', _) when c = c' -> bindings
+      | _ -> raise No_match)
+  | Sexp.Str (s, _) -> (
+      match f with
+      | Sexp.Str (s', _) when s = s' -> bindings
+      | _ -> raise No_match)
+  | Sexp.List (ps, _) -> (
+      match f with
+      | Sexp.List (fs, _) -> match_seq literals ps None fs bindings
+      | _ -> raise No_match)
+  | Sexp.Dotted (ps, ptail, _) -> (
+      match f with
+      | Sexp.List (fs, pos) ->
+          match_seq literals ps (Some ptail) fs
+            ~improper_tail:(Sexp.List ([], pos))
+            bindings
+      | Sexp.Dotted (fs, ftail, _) ->
+          match_seq literals ps (Some ptail) fs ~improper_tail:ftail bindings
+      | _ -> raise No_match)
+  | Sexp.Vec (ps, _) -> (
+      match f with
+      | Sexp.Vec (fs, _) -> match_seq literals ps None fs bindings
+      | _ -> raise No_match)
+
+(* Match a sequence of patterns [ps] (with optional dotted-tail pattern)
+   against forms [fs].  At most one ellipsis: ps = pre @ [pe; "..."] @ post. *)
+and match_seq literals ps ptail ?improper_tail fs bindings =
+  let rec split_at_ellipsis pre = function
+    | pe :: e :: post when is_ellipsis e -> Some (List.rev pre, pe, post)
+    | p :: rest -> split_at_ellipsis (p :: pre) rest
+    | [] -> None
+  in
+  match split_at_ellipsis [] ps with
+  | None ->
+      (* fixed-length *)
+      let rec go ps fs bindings =
+        match (ps, fs) with
+        | [], [] -> (
+            match (ptail, improper_tail) with
+            | None, _ -> bindings
+            | Some pt, Some ft -> match_pat literals pt ft bindings
+            | Some pt, None -> match_pat literals pt (Sexp.List ([], p0)) bindings)
+        | p :: ps', f :: fs' -> go ps' fs' (match_pat literals p f bindings)
+        | _ -> raise No_match
+      in
+      (match (ptail, fs) with
+      | None, _ -> go ps fs bindings
+      | Some _, _ ->
+          (* dotted pattern: fixed prefix, tail gets the rest *)
+          let np = List.length ps in
+          if List.length fs < np then raise No_match
+          else
+            let rec take n l = if n = 0 then ([], l) else
+              match l with x :: r -> let a, b = take (n-1) r in (x :: a, b)
+              | [] -> raise No_match
+            in
+            let prefix, rest = take np fs in
+            let bindings =
+              List.fold_left2
+                (fun b p f -> match_pat literals p f b)
+                bindings ps prefix
+            in
+            let tail_form =
+              match (rest, improper_tail) with
+              | [], Some ft -> ft
+              | [], None -> Sexp.List ([], p0)
+              | _, Some (Sexp.List ([], _)) | _, None -> Sexp.List (rest, p0)
+              | _, Some ft -> Sexp.Dotted (rest, ft, p0)
+            in
+            match ptail with
+            | Some pt -> match_pat literals pt tail_form bindings
+            | None -> raise No_match)
+  | Some (pre, pe, post) ->
+      let npre = List.length pre and npost = List.length post in
+      if List.length fs < npre + npost then raise No_match;
+      let rec take n l =
+        if n = 0 then ([], l)
+        else
+          match l with
+          | x :: r ->
+              let a, b = take (n - 1) r in
+              (x :: a, b)
+          | [] -> raise No_match
+      in
+      let fpre, rest = take npre fs in
+      let nmid = List.length rest - npost in
+      let fmid, fpost = take nmid rest in
+      let bindings =
+        List.fold_left2 (fun b p f -> match_pat literals p f b) bindings pre
+          fpre
+      in
+      (* each repetition binds pe's variables once; collect per variable *)
+      let reps =
+        List.map (fun f -> match_pat literals pe f []) fmid
+      in
+      let evars = List.sort_uniq compare (pattern_vars literals pe []) in
+      let bindings =
+        List.fold_left
+          (fun b v ->
+            let slices =
+              List.map
+                (fun rep ->
+                  match List.assoc_opt v rep with
+                  | Some x -> x
+                  | None -> raise No_match)
+                reps
+            in
+            (v, Multi slices) :: b)
+          bindings evars
+      in
+      let bindings =
+        List.fold_left2 (fun b p f -> match_pat literals p f b) bindings post
+          fpost
+      in
+      (match (ptail, improper_tail) with
+      | None, _ -> bindings
+      | Some pt, Some ft -> match_pat literals pt ft bindings
+      | Some pt, None -> match_pat literals pt (Sexp.List ([], p0)) bindings)
+
+(* ------------------------------------------------------------------ *)
+(* Template instantiation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec template_vars (t : Sexp.t) acc =
+  match t with
+  | Sexp.Sym ("...", _) -> acc
+  | Sexp.Sym (s, _) -> s :: acc
+  | Sexp.List (ts, _) | Sexp.Vec (ts, _) ->
+      List.fold_left (fun acc t -> template_vars t acc) acc ts
+  | Sexp.Dotted (ts, final, _) ->
+      template_vars final
+        (List.fold_left (fun acc t -> template_vars t acc) acc ts)
+  | _ -> acc
+
+let rec instantiate bindings (t : Sexp.t) : Sexp.t =
+  match t with
+  | Sexp.Sym (s, pos) -> (
+      match List.assoc_opt s bindings with
+      | Some (Single f) -> f
+      | Some (Multi _) ->
+          err pos ("syntax-rules: pattern variable " ^ s
+                   ^ " used without enough ellipses")
+      | None -> t)
+  | Sexp.List (ts, pos) -> Sexp.List (instantiate_seq bindings ts pos, pos)
+  | Sexp.Vec (ts, pos) -> Sexp.Vec (instantiate_seq bindings ts pos, pos)
+  | Sexp.Dotted (ts, final, pos) -> (
+      let heads = instantiate_seq bindings ts pos in
+      let tail = instantiate bindings final in
+      match tail with
+      | Sexp.List (more, _) -> Sexp.List (heads @ more, pos)
+      | Sexp.Dotted (more, f, _) -> Sexp.Dotted (heads @ more, f, pos)
+      | atom -> Sexp.Dotted (heads, atom, pos))
+  | atom -> atom
+
+and instantiate_seq bindings ts pos =
+  match ts with
+  | t :: e :: rest when is_ellipsis e ->
+      (* expand t once per slice of its Multi-bound variables *)
+      let vars =
+        List.filter
+          (fun v ->
+            match List.assoc_opt v bindings with
+            | Some (Multi _) -> true
+            | _ -> false)
+          (List.sort_uniq compare (template_vars t []))
+      in
+      if vars = [] then
+        err pos "syntax-rules: ellipsis template has no pattern variable";
+      let slices =
+        match List.assoc_opt (List.hd vars) bindings with
+        | Some (Multi l) -> List.length l
+        | _ -> assert false
+      in
+      List.iter
+        (fun v ->
+          match List.assoc_opt v bindings with
+          | Some (Multi l) when List.length l <> slices ->
+              err pos "syntax-rules: mismatched ellipsis lengths"
+          | _ -> ())
+        vars;
+      let expansions =
+        List.init slices (fun i ->
+            let bindings' =
+              List.map
+                (fun v ->
+                  match List.assoc v bindings with
+                  | Multi l -> (v, List.nth l i)
+                  | b -> (v, b))
+                vars
+              @ bindings
+            in
+            instantiate bindings' t)
+      in
+      expansions @ instantiate_seq bindings rest pos
+  | t :: rest -> instantiate bindings t :: instantiate_seq bindings rest pos
+  | [] -> []
+
+let expand_use (r : rules) (form : Sexp.t) : Sexp.t =
+  let pos = Sexp.pos_of form in
+  let args =
+    match form with
+    | Sexp.List (_ :: args, _) -> args
+    | _ -> err pos "macro use must be a list form"
+  in
+  let rec try_rules = function
+    | [] -> err pos "no syntax-rules pattern matches this use"
+    | { pat; tmpl } :: rest -> (
+        let pat_args, ptail =
+          match pat with
+          | Sexp.List (_ :: ps, _) -> (ps, None)
+          | Sexp.Dotted (_ :: ps, t, _) -> (ps, Some t)
+          | _ -> err (Sexp.pos_of pat) "syntax-rules: pattern must be a list"
+        in
+        match match_seq r.literals pat_args ptail args [] with
+        | bindings -> instantiate bindings tmpl
+        | exception No_match -> try_rules rest)
+  in
+  try_rules r.rules

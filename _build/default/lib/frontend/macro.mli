@@ -1,0 +1,24 @@
+(** [syntax-rules] pattern matching and template instantiation.
+
+    Supports literals, the [_] wildcard, one ellipsis ([...]) per list
+    level (with a fixed tail after it), nested ellipses, dotted patterns,
+    and vector patterns.  Expansion is {e unhygienic}: template identifiers
+    are resolved at the use site, like the rest of this expander
+    (documented limitation). *)
+
+type rules
+(** A compiled [(syntax-rules (literal ...) (pattern template) ...)]. *)
+
+exception Macro_error of string * Sexp.pos
+
+val parse_syntax_rules : Sexp.t -> rules
+(** Parse the [(syntax-rules ...)] form.  @raise Macro_error if malformed. *)
+
+val expand_use : rules -> Sexp.t -> Sexp.t
+(** Expand one macro use (the whole form, keyword included) with the first
+    matching rule.  @raise Macro_error if no rule matches. *)
+
+type menv = (string, rules) Hashtbl.t
+(** Macro environment: keyword name -> rules. *)
+
+val create_menv : unit -> menv

@@ -1,0 +1,426 @@
+open Rt
+
+type t = {
+  globals : Globals.t;
+  menv : Macro.menv;
+  out : Buffer.t;
+  stats : Stats.t;
+  mutable acc : value;
+  mutable code : code;
+  mutable pc : int;
+  mutable nargs : int;
+  mutable frame : hframe;
+  mutable timer : int;
+  mutable timer_handler : value;
+  mutable halted : bool;
+}
+
+exception Vm_fuel_exhausted
+
+let halt_code =
+  Bytecode.make_code ~name:"%halt" ~arity:(Exactly 0) ~frame_words:2 [| Halt |]
+
+let root_frame () =
+  { hslots = [||]; hret = Void; hparent = None; hshared = false; hguards = [] }
+
+let create ?stats () =
+  let out = Buffer.create 256 in
+  let globals = Globals.create () in
+  Prims.install ~out globals;
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  {
+    globals;
+    menv = Macro.create_menv ();
+    out;
+    stats;
+    acc = Void;
+    code = halt_code;
+    pc = 0;
+    nargs = 0;
+    frame = root_frame ();
+    timer = -1;
+    timer_handler = Void;
+    halted = false;
+  }
+
+let output vm = Buffer.contents vm.out
+
+let alloc_frame vm ~words ~ret ~parent ~guards =
+  vm.stats.Stats.heap_frames <- vm.stats.Stats.heap_frames + 1;
+  vm.stats.Stats.heap_frame_words <- vm.stats.Stats.heap_frame_words + words;
+  {
+    hslots = Array.make words Void;
+    hret = ret;
+    hparent = parent;
+    hshared = false;
+    hguards = guards;
+  }
+
+(* Copy-on-write: frames reachable from a multi-shot continuation are
+   immutable; the running computation writes into a private copy. *)
+let writable vm =
+  let f = vm.frame in
+  if not f.hshared then f
+  else begin
+    vm.stats.Stats.cow_copies <- vm.stats.Stats.cow_copies + 1;
+    let f' = { f with hslots = Array.copy f.hslots; hshared = false } in
+    vm.frame <- f';
+    f'
+  end
+
+let consume_guards guards =
+  List.iter
+    (fun h ->
+      if not h.hcont_promoted then
+        if h.hcont_shot then raise Shot_continuation else h.hcont_shot <- true)
+    guards
+
+let do_return vm =
+  let f = vm.frame in
+  consume_guards f.hguards;
+  match f.hret with
+  | Retaddr r -> (
+      vm.code <- r.rcode;
+      vm.pc <- r.rpc;
+      match f.hparent with
+      | Some p ->
+          (* Shared-ness propagates downward as control returns, keeping
+             captured ancestors copy-on-write. *)
+          if f.hshared then p.hshared <- true;
+          vm.frame <- p
+      | None -> ())
+  | v -> Values.err "heapvm: corrupt frame: bad return slot" [ v ]
+
+let promote_guards_from frame_opt extra =
+  List.iter (fun h -> h.hcont_promoted <- true) extra;
+  let rec walk = function
+    | None -> ()
+    | Some f ->
+        List.iter (fun h -> h.hcont_promoted <- true) f.hguards;
+        walk f.hparent
+  in
+  walk frame_opt
+
+let rec happly vm f args ~ret ~parent ~guards =
+  match f with
+  | Closure c ->
+      let n = Array.length args in
+      let words = max c.code.frame_words (2 + n) in
+      let fr = alloc_frame vm ~words ~ret ~parent ~guards in
+      fr.hslots.(1) <- f;
+      Array.blit args 0 fr.hslots 2 n;
+      vm.frame <- fr;
+      vm.code <- c.code;
+      vm.pc <- 0;
+      vm.nargs <- n;
+      vm.stats.Stats.calls <- vm.stats.Stats.calls + 1
+  | Prim { pfn = Pure fn; parity; pname } ->
+      if not (Bytecode.arity_matches parity (Array.length args)) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+      vm.acc <- fn args;
+      (* A tail call passes the caller's own return context; returning
+         through it also consumes any one-shot guards. *)
+      if ret == vm.frame.hret then do_return vm
+  | Prim { pfn = Special sp; parity; pname } ->
+      if not (Bytecode.arity_matches parity (Array.length args)) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+      special vm sp args ~ret ~parent ~guards
+  | Hcont k -> invoke_hcont vm k args
+  | v -> Values.err "application of non-procedure" [ v ]
+
+and invoke_hcont vm k args =
+  if k.hcont_one_shot && not k.hcont_promoted then begin
+    if k.hcont_shot then raise Shot_continuation;
+    k.hcont_shot <- true;
+    vm.stats.Stats.invokes_oneshot <- vm.stats.Stats.invokes_oneshot + 1
+  end
+  else vm.stats.Stats.invokes_multi <- vm.stats.Stats.invokes_multi + 1;
+  vm.acc <-
+    (if Array.length args = 1 then args.(0) else Mvals (Array.to_list args));
+  (match k.hcont_frame with
+  | Some f -> vm.frame <- f
+  | None -> vm.frame <- root_frame ());
+  match k.hcont_ret with
+  | Retaddr r ->
+      vm.code <- r.rcode;
+      vm.pc <- r.rpc
+  | v -> Values.err "heapvm: corrupt continuation" [ v ]
+
+and special vm sp args ~ret ~parent ~guards =
+  match sp with
+  | Sp_callcc ->
+      let p = Prims.check_procedure "%call/cc" args.(0) in
+      let k =
+        Hcont
+          {
+            hcont_frame = parent;
+            hcont_ret = ret;
+            hcont_one_shot = false;
+            hcont_shot = false;
+            hcont_promoted = true;
+          }
+      in
+      (match parent with Some f -> f.hshared <- true | None -> ());
+      promote_guards_from parent guards;
+      vm.stats.Stats.captures_multi <- vm.stats.Stats.captures_multi + 1;
+      happly vm p [| k |] ~ret ~parent ~guards
+  | Sp_call1cc ->
+      let p = Prims.check_procedure "%call/1cc" args.(0) in
+      let hc =
+        {
+          hcont_frame = parent;
+          hcont_ret = ret;
+          hcont_one_shot = true;
+          hcont_shot = false;
+          hcont_promoted = false;
+        }
+      in
+      vm.stats.Stats.captures_oneshot <- vm.stats.Stats.captures_oneshot + 1;
+      happly vm p [| Hcont hc |] ~ret ~parent ~guards:(hc :: guards)
+  | Sp_apply ->
+      let f = Prims.check_procedure "apply" args.(0) in
+      let n = Array.length args in
+      let fixed = Array.sub args 1 (n - 2) in
+      let last = Values.list_of_value args.(n - 1) in
+      let all = Array.append fixed (Array.of_list last) in
+      happly vm f all ~ret ~parent ~guards
+  | Sp_values ->
+      vm.acc <-
+        (if Array.length args = 1 then args.(0)
+         else Mvals (Array.to_list args));
+      return_to vm ~ret ~parent ~guards
+  | Sp_set_timer ->
+      let ticks = Prims.check_int "%set-timer!" args.(0) in
+      vm.timer_handler <- args.(1);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      vm.acc <- Void;
+      return_to vm ~ret ~parent ~guards
+  | Sp_get_timer ->
+      vm.acc <- Int (max vm.timer 0);
+      return_to vm ~ret ~parent ~guards
+  | Sp_backtrace ->
+      let rec walk acc count (f : hframe option) =
+        match f with
+        | Some fr when count < 64 -> (
+            match fr.hret with
+            | Retaddr r -> walk (r.rcode.cname :: acc) (count + 1) fr.hparent
+            | _ -> acc)
+        | _ -> acc
+      in
+      (* Include the resume point first, then the parent chain. *)
+      let first = match ret with Retaddr r -> [ r.rcode.cname ] | _ -> [] in
+      vm.acc <-
+        Values.list_to_value
+          (List.map (fun n -> sym n)
+             (first @ List.rev (walk [] 0 parent)));
+      return_to vm ~ret ~parent ~guards
+  | Sp_eval ->
+      let code = Compiler.compile_eval ~menv:vm.menv vm.globals args.(0) in
+      happly vm (Closure { code; frees = [||] }) [||] ~ret ~parent ~guards
+  | Sp_stats ->
+      let name =
+        match args.(0) with
+        | Sym s -> s
+        | v -> Values.type_error "%stat" "symbol" v
+      in
+      (vm.acc <-
+         (match Stats.get vm.stats name with
+         | n -> Int n
+         | exception Not_found ->
+             Values.err ("%stat: unknown counter " ^ name) []));
+      return_to vm ~ret ~parent ~guards
+
+(* Return a value through an explicit (ret, parent, guards) context, as a
+   primitive in tail position does. *)
+and return_to vm ~ret ~parent ~guards =
+  consume_guards guards;
+  match ret with
+  | Retaddr r -> (
+      vm.code <- r.rcode;
+      vm.pc <- r.rpc;
+      match parent with
+      | Some p -> vm.frame <- p
+      | None -> ())
+  | v -> Values.err "heapvm: corrupt return context" [ v ]
+
+let fire_timer vm =
+  let handler = vm.timer_handler in
+  happly vm handler [||]
+    ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = 0 })
+    ~parent:(Some vm.frame) ~guards:[]
+
+let enter vm =
+  let c = vm.code in
+  let n = vm.nargs in
+  (match c.arity with
+  | Exactly k ->
+      if n <> k then
+        Values.err
+          (Printf.sprintf "%s: expected %d arguments, got %d" c.cname k n)
+          []
+  | At_least k ->
+      if n < k then
+        Values.err
+          (Printf.sprintf "%s: expected at least %d arguments, got %d" c.cname
+             k n)
+          []);
+  (match c.arity with
+  | At_least k ->
+      let slots = vm.frame.hslots in
+      let rest = ref Nil in
+      for i = n - 1 downto k do
+        rest := Values.cons slots.(2 + i) !rest
+      done;
+      slots.(2 + k) <- !rest
+  | Exactly _ -> ());
+  if vm.timer > 0 then begin
+    vm.timer <- vm.timer - 1;
+    if vm.timer = 0 then begin
+      vm.timer <- -1;
+      fire_timer vm
+    end
+  end
+
+let step vm =
+  let instr = vm.code.instrs.(vm.pc) in
+  vm.pc <- vm.pc + 1;
+  vm.stats.Stats.instrs <- vm.stats.Stats.instrs + 1;
+  match instr with
+  | Const v -> vm.acc <- v
+  | Local_ref i -> vm.acc <- vm.frame.hslots.(i)
+  | Local_set i -> (writable vm).hslots.(i) <- vm.acc
+  | Box_init i ->
+      let f = writable vm in
+      f.hslots.(i) <- Box (ref f.hslots.(i));
+      vm.stats.Stats.boxes_made <- vm.stats.Stats.boxes_made + 1
+  | Box_ref i -> (
+      match vm.frame.hslots.(i) with
+      | Box r -> vm.acc <- !r
+      | v -> Values.err "heapvm: box-ref of non-box" [ v ])
+  | Box_set i -> (
+      match vm.frame.hslots.(i) with
+      | Box r -> r := vm.acc
+      | v -> Values.err "heapvm: box-set of non-box" [ v ])
+  | Free_ref i -> (
+      match vm.frame.hslots.(1) with
+      | Closure c -> vm.acc <- c.frees.(i)
+      | v -> Values.err "heapvm: free-ref outside closure" [ v ])
+  | Free_box_ref i -> (
+      match vm.frame.hslots.(1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r -> vm.acc <- !r
+          | v -> Values.err "heapvm: free-box-ref of non-box" [ v ])
+      | v -> Values.err "heapvm: free-box-ref outside closure" [ v ])
+  | Free_box_set i -> (
+      match vm.frame.hslots.(1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r -> r := vm.acc
+          | v -> Values.err "heapvm: free-box-set of non-box" [ v ])
+      | v -> Values.err "heapvm: free-box-set outside closure" [ v ])
+  | Global_ref g ->
+      if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+      vm.acc <- g.gval
+  | Global_set g ->
+      if not g.gdefined then
+        Values.err ("set! of unbound variable: " ^ g.gname) [];
+      g.gval <- vm.acc
+  | Global_define g ->
+      g.gval <- vm.acc;
+      g.gdefined <- true
+  | Make_closure (code, caps) ->
+      let slots = vm.frame.hslots in
+      let frees =
+        Array.map
+          (function
+            | Cap_local i -> slots.(i)
+            | Cap_free i -> (
+                match slots.(1) with
+                | Closure c -> c.frees.(i)
+                | v -> Values.err "heapvm: capture outside closure" [ v ]))
+          caps
+      in
+      vm.stats.Stats.closures_made <- vm.stats.Stats.closures_made + 1;
+      vm.acc <- Closure { code; frees }
+  | Branch pc -> vm.pc <- pc
+  | Branch_false pc -> if not (Values.is_truthy vm.acc) then vm.pc <- pc
+  | Call { disp; nargs } ->
+      let slots = vm.frame.hslots in
+      let f = slots.(disp + 1) in
+      let args = Array.init nargs (fun i -> slots.(disp + 2 + i)) in
+      vm.stats.Stats.frames <- vm.stats.Stats.frames + 1;
+      happly vm f args
+        ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp })
+        ~parent:(Some vm.frame) ~guards:[]
+  | Tail_call { disp; nargs } ->
+      let cur = vm.frame in
+      let slots = cur.hslots in
+      let f = slots.(disp + 1) in
+      let args = Array.init nargs (fun i -> slots.(disp + 2 + i)) in
+      (* Abandoning a captured frame exposes its parent to the capturing
+         continuation: keep the parent copy-on-write. *)
+      (if cur.hshared then
+         match cur.hparent with Some p -> p.hshared <- true | None -> ());
+      happly vm f args ~ret:cur.hret ~parent:cur.hparent ~guards:cur.hguards
+  | Return -> do_return vm
+  | Enter -> enter vm
+  | Halt -> vm.halted <- true
+
+let pop_error_handler vm =
+  match Globals.lookup_opt vm.globals "%error-handlers" with
+  | Some (Pair p) ->
+      let h = p.car in
+      Globals.define vm.globals "%error-handlers" p.cdr;
+      Some h
+  | _ -> None
+
+let inject_error_handler vm handler msg irritants =
+  happly vm handler
+    [| Str (Bytes.of_string msg); Values.list_to_value irritants |]
+    ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = 0 })
+    ~parent:(Some vm.frame) ~guards:[]
+
+let step_catching vm =
+  try step vm
+  with Scheme_error (msg, irritants) as exn -> (
+    match pop_error_handler vm with
+    | Some h -> inject_error_handler vm h msg irritants
+    | None -> raise exn)
+
+let run ?(fuel = -1) vm code =
+  let root = root_frame () in
+  let fr =
+    alloc_frame vm ~words:(max code.frame_words 2)
+      ~ret:(Retaddr { rcode = halt_code; rpc = 0; rdisp = 0 })
+      ~parent:(Some root) ~guards:[]
+  in
+  fr.hslots.(1) <- Closure { code; frees = [||] };
+  vm.frame <- fr;
+  vm.code <- code;
+  vm.pc <- 0;
+  vm.nargs <- 0;
+  vm.acc <- Void;
+  vm.halted <- false;
+  if fuel < 0 then
+    while not vm.halted do
+      step_catching vm
+    done
+  else begin
+    let n = ref fuel in
+    while not vm.halted do
+      if !n <= 0 then raise Vm_fuel_exhausted;
+      decr n;
+      step_catching vm
+    done
+  end;
+  vm.acc
+
+let run_program ?fuel vm codes =
+  List.fold_left (fun _ code -> run ?fuel vm code) Void codes
+
+let eval ?fuel ?optimize vm src =
+  run_program ?fuel vm
+    (Compiler.compile_string ?optimize ~menv:vm.menv vm.globals src)

@@ -1,0 +1,41 @@
+(** The heap-model baseline VM (paper §5).
+
+    Interprets the same bytecode as {!Vm}, but represents control as
+    heap-allocated linked frames in the style of Appel/MacQueen's SML/NJ:
+    every call allocates a frame; continuation capture is O(1) pointer
+    sharing; invocation is O(1) pointer swinging.  Frames reachable from a
+    multi-shot continuation are marked shared and copied on write, so
+    reinstatement is sound even though frames are mutable.
+
+    One-shot semantics are kept in parity with the stack VM: a [%call/1cc]
+    extent is consumed either by explicit invocation or by the normal
+    return through its capture frame (a frame "guard"), and [%call/cc]
+    promotes the one-shot extents it captures.
+
+    The interesting measurements (experiment E4) are
+    [Stats.heap_frames]/[Stats.heap_frame_words] — the per-call allocation
+    this model pays that the segmented stack does not — and
+    [Stats.cow_copies]. *)
+
+type t = {
+  globals : Globals.t;
+  menv : Macro.menv;
+  out : Buffer.t;
+  stats : Stats.t;
+  mutable acc : Rt.value;
+  mutable code : Rt.code;
+  mutable pc : int;
+  mutable nargs : int;
+  mutable frame : Rt.hframe;
+  mutable timer : int;
+  mutable timer_handler : Rt.value;
+  mutable halted : bool;
+}
+
+exception Vm_fuel_exhausted
+
+val create : ?stats:Stats.t -> unit -> t
+val run : ?fuel:int -> t -> Rt.code -> Rt.value
+val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
+val eval : ?fuel:int -> ?optimize:bool -> t -> string -> Rt.value
+val output : t -> string

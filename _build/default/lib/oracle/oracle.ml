@@ -1,0 +1,213 @@
+open Rt
+
+type oneshot_state = { shot : bool ref; promoted : bool ref }
+
+type t = {
+  globals : Globals.t;
+  menv : Macro.menv;
+  out : Buffer.t;
+  mutable fuel : int; (* negative = unlimited *)
+  mutable oneshots : oneshot_state list; (* outstanding one-shot captures *)
+}
+
+exception Fuel_exhausted
+
+(* forward reference: Sp_eval needs the top-level evaluator *)
+let eval_top_fwd :
+    (t -> Ast.top -> (value -> value) -> value) ref =
+  ref (fun _ _ _ -> assert false)
+
+let create () =
+  let out = Buffer.create 256 in
+  let globals = Globals.create () in
+  Prims.install ~out globals;
+  { globals; menv = Macro.create_menv (); out; fuel = -1; oneshots = [] }
+
+let globals t = t.globals
+let output t = Buffer.contents t.out
+
+let tick t =
+  if t.fuel >= 0 then begin
+    if t.fuel = 0 then raise Fuel_exhausted;
+    t.fuel <- t.fuel - 1
+  end
+
+(* Environments map names to mutable cells. *)
+type env = (string * value ref) list
+
+let one_value args =
+  match (args : value array) with
+  | [| v |] -> v
+  | _ -> Mvals (Array.to_list args)
+
+let rec apply t f (args : value array) (k : value -> value) : value =
+  tick t;
+  match f with
+  | Ofun o -> o.ofn args k
+  | Prim { pfn = Pure fn; parity; pname } ->
+      if not (Bytecode.arity_matches parity (Array.length args)) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      k (fn args)
+  | Prim { pfn = Special sp; parity; pname } ->
+      if not (Bytecode.arity_matches parity (Array.length args)) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      special t sp args k
+  | v -> Values.err "application of non-procedure" [ v ]
+
+and special t sp args k =
+  match sp with
+  | Sp_callcc ->
+      (* Over-approximate promotion: see interface comment. *)
+      List.iter (fun o -> o.promoted := true) t.oneshots;
+      let kv =
+        Ofun { oname = "continuation"; ofn = (fun vals _ -> k (one_value vals)) }
+      in
+      apply t args.(0) [| kv |] k
+  | Sp_call1cc ->
+      let st = { shot = ref false; promoted = ref false } in
+      t.oneshots <- st :: t.oneshots;
+      let consume () =
+        if not !(st.promoted) then begin
+          if !(st.shot) then raise Shot_continuation;
+          st.shot := true
+        end
+      in
+      let kv =
+        Ofun
+          {
+            oname = "one-shot-continuation";
+            ofn =
+              (fun vals _ ->
+                consume ();
+                k (one_value vals));
+          }
+      in
+      apply t args.(0) [| kv |] (fun v ->
+          (* Normal return from the receiver consumes the extent too. *)
+          consume ();
+          k v)
+  | Sp_apply ->
+      let f = args.(0) in
+      let n = Array.length args in
+      let fixed = Array.sub args 1 (n - 2) in
+      let last = Values.list_of_value args.(n - 1) in
+      apply t f (Array.append fixed (Array.of_list last)) k
+  | Sp_values -> k (one_value args)
+  | Sp_set_timer -> k Void (* no timer in the oracle *)
+  | Sp_get_timer -> k (Int 0)
+  | Sp_backtrace -> k Nil (* the oracle's control is OCaml closures *)
+  | Sp_eval ->
+      let tops =
+        Expander.with_menv t.menv (fun () ->
+            Expander.expand_tops (Expander.value_to_datum args.(0)))
+      in
+      let rec go last = function
+        | [] -> k last
+        | top :: rest -> !eval_top_fwd t top (fun v -> go v rest)
+      in
+      go Void tops
+  | Sp_stats -> k (Int 0)
+
+let rec eval_exp t (env : env) (e : Ast.t) (k : value -> value) : value =
+  tick t;
+  match e with
+  | Ast.Quote v -> k v
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some cell -> k !cell
+      | None -> (
+          match Hashtbl.find_opt t.globals x with
+          | Some g when g.gdefined -> k g.gval
+          | _ -> Values.err ("unbound variable: " ^ x) []))
+  | Ast.If (tst, c, a) ->
+      eval_exp t env tst (fun v ->
+          if Values.is_truthy v then eval_exp t env c k else eval_exp t env a k)
+  | Ast.Set (x, rhs) ->
+      eval_exp t env rhs (fun v ->
+          match List.assoc_opt x env with
+          | Some cell ->
+              cell := v;
+              k Void
+          | None -> (
+              match Hashtbl.find_opt t.globals x with
+              | Some g when g.gdefined ->
+                  g.gval <- v;
+                  k Void
+              | _ -> Values.err ("set! of unbound variable: " ^ x) []))
+  | Ast.Begin es ->
+      let rec go = function
+        | [] -> k Void
+        | [ last ] -> eval_exp t env last k
+        | x :: rest -> eval_exp t env x (fun _ -> go rest)
+      in
+      go es
+  | Ast.Lambda l -> k (make_closure t env l)
+  | Ast.App (f, argexps) ->
+      eval_exp t env f (fun fv ->
+          let n = List.length argexps in
+          let vals = Array.make n Void in
+          let rec go i = function
+            | [] -> apply t fv vals k
+            | a :: rest ->
+                eval_exp t env a (fun v ->
+                    vals.(i) <- v;
+                    go (i + 1) rest)
+          in
+          go 0 argexps)
+
+and make_closure t env (l : Ast.lambda) =
+  let nparams = List.length l.params in
+  Ofun
+    {
+      oname = l.lname;
+      ofn =
+        (fun args k ->
+          let n = Array.length args in
+          (match l.rest with
+          | None ->
+              if n <> nparams then
+                Values.err
+                  (Printf.sprintf "%s: expected %d arguments, got %d" l.lname
+                     nparams n)
+                  []
+          | Some _ ->
+              if n < nparams then
+                Values.err
+                  (Printf.sprintf "%s: expected at least %d arguments, got %d"
+                     l.lname nparams n)
+                  []);
+          let param_cells =
+            List.mapi (fun i p -> (p, ref args.(i))) l.params
+          in
+          let rest_cells =
+            match l.rest with
+            | None -> []
+            | Some r ->
+                let tail =
+                  Array.to_list (Array.sub args nparams (n - nparams))
+                in
+                [ (r, ref (Values.list_to_value tail)) ]
+          in
+          eval_exp t (param_cells @ rest_cells @ env) l.body k);
+    }
+
+let eval_top t (top : Ast.top) (k : value -> value) =
+  match top with
+  | Ast.Expr e -> eval_exp t [] e k
+  | Ast.Define (x, e) ->
+      eval_exp t [] e (fun v ->
+          Globals.define t.globals x v;
+          k Void)
+
+let () = eval_top_fwd := eval_top
+
+let eval_tops ?(fuel = -1) t tops =
+  t.fuel <- fuel;
+  let rec go last = function
+    | [] -> last
+    | top :: rest -> eval_top t top (fun v -> go v rest)
+  in
+  go Void tops
+
+let eval ?fuel t src =
+  eval_tops ?fuel t (Expander.expand_string ~menv:t.menv src)

@@ -1,0 +1,28 @@
+(** Reference interpreter used as a differential-testing oracle.
+
+    A tree-walking interpreter over the expanded core AST, written in
+    continuation-passing style with OCaml closures as continuations, so
+    multi-shot [%call/cc] is supported natively and independently of the
+    segmented-stack machinery under test.
+
+    Semantics intentionally diverge from the VMs in exactly one place:
+    [%call/cc] promotes {e every} outstanding one-shot continuation, not
+    just those in the captured chain (OCaml closures cannot be walked).
+    This over-approximation never changes the value of a program that runs
+    without a shot-continuation error on the stack VM, which is the
+    property differential tests check.  [%set-timer!] is a no-op and
+    [%stat] returns 0. *)
+
+type t
+
+exception Fuel_exhausted
+
+val create : unit -> t
+val globals : t -> Globals.t
+
+val eval : ?fuel:int -> t -> string -> Rt.value
+(** Run a program; the last form's value.  [fuel] bounds interpreter steps.
+    @raise Rt.Scheme_error / @raise Rt.Shot_continuation as the VMs do. *)
+
+val eval_tops : ?fuel:int -> t -> Ast.top list -> Rt.value
+val output : t -> string

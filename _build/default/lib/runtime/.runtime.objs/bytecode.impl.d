@@ -1,0 +1,1 @@
+lib/runtime/bytecode.ml: Array Buffer List Printf Rt String Values

@@ -1,0 +1,1 @@
+lib/runtime/globals.mli: Hashtbl Rt

@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Hashtbl Printf

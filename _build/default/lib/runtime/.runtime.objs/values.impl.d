@@ -1,0 +1,1 @@
+lib/runtime/values.ml: Array Buffer Bytes Float Format Hashtbl List Obj Printf Rt String

@@ -1,0 +1,64 @@
+open Rt
+
+let make_code ~name ~arity ~frame_words instrs =
+  { instrs; cname = name; arity; frame_words }
+
+let arity_matches arity n =
+  match arity with Exactly k -> n = k | At_least k -> n >= k
+
+let arity_to_string = function
+  | Exactly n -> string_of_int n
+  | At_least n -> Printf.sprintf "%d+" n
+
+let instr_to_string = function
+  | Const v -> "const " ^ Values.write_string v
+  | Local_ref i -> Printf.sprintf "local-ref %d" i
+  | Local_set i -> Printf.sprintf "local-set %d" i
+  | Box_init i -> Printf.sprintf "box-init %d" i
+  | Box_ref i -> Printf.sprintf "box-ref %d" i
+  | Box_set i -> Printf.sprintf "box-set %d" i
+  | Free_ref i -> Printf.sprintf "free-ref %d" i
+  | Free_box_ref i -> Printf.sprintf "free-box-ref %d" i
+  | Free_box_set i -> Printf.sprintf "free-box-set %d" i
+  | Global_ref g -> "global-ref " ^ g.gname
+  | Global_set g -> "global-set " ^ g.gname
+  | Global_define g -> "global-define " ^ g.gname
+  | Make_closure (c, caps) ->
+      let cap_to_string = function
+        | Cap_local i -> Printf.sprintf "l%d" i
+        | Cap_free i -> Printf.sprintf "f%d" i
+      in
+      Printf.sprintf "make-closure %s [%s]" c.cname
+        (String.concat " " (Array.to_list (Array.map cap_to_string caps)))
+  | Branch pc -> Printf.sprintf "branch %d" pc
+  | Branch_false pc -> Printf.sprintf "branch-false %d" pc
+  | Call { disp; nargs } -> Printf.sprintf "call disp=%d nargs=%d" disp nargs
+  | Tail_call { disp; nargs } ->
+      Printf.sprintf "tail-call disp=%d nargs=%d" disp nargs
+  | Return -> "return"
+  | Enter -> "enter"
+  | Halt -> "halt"
+
+let disassemble code =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: arity=%s frame-words=%d\n" code.cname
+       (arity_to_string code.arity)
+       code.frame_words);
+  Array.iteri
+    (fun pc instr ->
+      Buffer.add_string buf (Printf.sprintf "  %4d  %s\n" pc (instr_to_string instr)))
+    code.instrs;
+  Buffer.contents buf
+
+let rec collect_codes acc code =
+  if List.memq code acc then acc
+  else
+    Array.fold_left
+      (fun acc instr ->
+        match instr with Make_closure (c, _) -> collect_codes acc c | _ -> acc)
+      (code :: acc) code.instrs
+
+let disassemble_deep code =
+  let codes = List.rev (collect_codes [] code) in
+  String.concat "\n" (List.map disassemble codes)

@@ -1,0 +1,20 @@
+(** Helpers over compiled code objects: construction and disassembly. *)
+
+val make_code :
+  name:string ->
+  arity:Rt.arity ->
+  frame_words:int ->
+  Rt.instr array ->
+  Rt.code
+
+val arity_matches : Rt.arity -> int -> bool
+(** Does a call with [n] arguments satisfy the arity? *)
+
+val arity_to_string : Rt.arity -> string
+
+val disassemble : Rt.code -> string
+(** Multi-line listing of one code object (not recursing into nested
+    closures). *)
+
+val disassemble_deep : Rt.code -> string
+(** Listing of a code object and every code object it closes over. *)

@@ -1,0 +1,24 @@
+(* Global variable table: one mutable cell per name, shared between the
+   compiler (which embeds cells in code) and the VMs. *)
+
+type t = (string, Rt.global) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let cell (t : t) name : Rt.global =
+  match Hashtbl.find_opt t name with
+  | Some g -> g
+  | None ->
+      let g = { Rt.gname = name; gval = Rt.Undef; gdefined = false } in
+      Hashtbl.add t name g;
+      g
+
+let define (t : t) name v =
+  let g = cell t name in
+  g.gval <- v;
+  g.gdefined <- true
+
+let lookup_opt (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some g when g.gdefined -> Some g.gval
+  | _ -> None

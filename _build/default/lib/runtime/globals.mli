@@ -1,0 +1,12 @@
+(** Global variable table: one mutable cell per name, shared between the
+    compiler (which embeds cells in code objects) and the machines. *)
+
+type t = (string, Rt.global) Hashtbl.t
+
+val create : unit -> t
+
+val cell : t -> string -> Rt.global
+(** Find or create the (possibly still undefined) cell for a name. *)
+
+val define : t -> string -> Rt.value -> unit
+val lookup_opt : t -> string -> Rt.value option

@@ -1,0 +1,194 @@
+(* Core mutually recursive runtime types shared by the compiler, the control
+   substrate, and both virtual machines.
+
+   The control-stack layout follows Bruggeman/Waddell/Dybvig (PLDI'96)
+   faithfully: segments are flat value arrays; each frame is
+   [ret][arg1..argn][locals/temps...] with the frame pointer indexing [ret];
+   there is no dynamic link -- return addresses carry the frame displacement
+   that the paper stores as a size word in the code stream next to each
+   return point (the information content and its uses -- stack walking,
+   splitting, hysteresis copy-up -- are identical). *)
+
+type value =
+  | Nil                                  (* the empty list *)
+  | Void                                 (* unspecified value *)
+  | Eof
+  | Undef                                (* letrec pre-initialization hole *)
+  | Bool of bool
+  | Int of int                           (* fixnums: native OCaml ints *)
+  | Flo of float                         (* flonums *)
+  | Char of char
+  | Str of bytes                         (* mutable Scheme strings *)
+  | Sym of string
+  | Pair of pair
+  | Vec of value array
+  | Closure of closure
+  | Prim of prim
+  | Cont of cont                         (* Scheme-level continuation *)
+  | Hcont of hcont                       (* heap-VM continuation *)
+  | Ofun of ofun                         (* oracle-interpreter procedure:
+                                            CPS over OCaml closures *)
+  | Mvals of value list                  (* multiple values in transit *)
+  | Box of value ref                     (* assignment-converted variable *)
+  | Tbl of (value, value) Hashtbl.t      (* eqv-keyed hashtable *)
+  (* Runtime-internal values stored in stack frames; never seen by Scheme. *)
+  | Retaddr of retaddr
+  | Underflow_mark                       (* bottom-of-segment return slot *)
+
+and pair = { mutable car : value; mutable cdr : value }
+and closure = { code : code; frees : value array }
+
+and retaddr = {
+  rcode : code;
+  rpc : int;                             (* resumption pc in [rcode] *)
+  rdisp : int;                           (* displacement to the caller frame:
+                                            callee fp - caller fp (the paper's
+                                            in-stream frame-size word) *)
+}
+
+and code = {
+  instrs : instr array;
+  cname : string;                        (* for disassembly/back-traces *)
+  arity : arity;
+  frame_words : int;                     (* max frame extent: one overflow
+                                            check at [Enter] covers every
+                                            in-frame write the body performs *)
+}
+
+and arity = Exactly of int | At_least of int
+
+and instr =
+  | Const of value
+  | Local_ref of int                     (* acc := frame.(i) *)
+  | Local_set of int                     (* frame.(i) := acc *)
+  | Box_init of int                      (* frame.(i) := Box (ref frame.(i)) *)
+  | Box_ref of int                       (* acc := !(unbox frame.(i)) *)
+  | Box_set of int                       (* (unbox frame.(i)) := acc *)
+  | Free_ref of int                      (* acc := clos.frees.(i) *)
+  | Free_box_ref of int
+  | Free_box_set of int
+  | Global_ref of global
+  | Global_set of global
+  | Global_define of global
+  | Make_closure of code * capture array
+  | Branch of int                        (* absolute pc *)
+  | Branch_false of int
+  | Call of { disp : int; nargs : int }  (* callee at frame.(disp+nargs+1),
+                                            args at frame.(disp+1 ..); pushes
+                                            Retaddr at frame.(disp) *)
+  | Tail_call of { disp : int; nargs : int } (* args at frame.(disp+1 ..),
+                                            callee at frame.(disp+nargs+1);
+                                            shifts args down to frame.(1..) *)
+  | Return                               (* return acc via frame.(0) *)
+  | Enter                                (* procedure prologue: arity check,
+                                            rest-arg collection, overflow
+                                            check, timer tick *)
+  | Halt                                 (* stop the machine; acc is the
+                                            program result *)
+
+and capture = Cap_local of int | Cap_free of int
+
+and global = {
+  gname : string;
+  mutable gval : value;
+  mutable gdefined : bool;
+}
+
+and prim = {
+  pname : string;
+  parity : arity;
+  pfn : pfn;
+}
+
+and pfn =
+  | Pure of (value array -> value)       (* no control effects: applied
+                                            in-line, no frame pushed *)
+  | Special of special                   (* needs the machine: handled by the
+                                            VM dispatch loop *)
+
+and special =
+  | Sp_callcc                            (* %call/cc  : raw multi-shot capture *)
+  | Sp_call1cc                           (* %call/1cc : raw one-shot capture *)
+  | Sp_apply
+  | Sp_values
+  | Sp_set_timer                         (* (%set-timer! ticks handler) *)
+  | Sp_get_timer                         (* (%get-timer) : remaining ticks *)
+  | Sp_stats                             (* (%stat 'name) : read a counter *)
+  | Sp_backtrace                         (* (%backtrace) : walk the frames *)
+  | Sp_eval                              (* (eval datum) : compile and run *)
+
+(* One-shot/multi-shot stack records, exactly the paper's Figure 1/2 layout.
+   A record describes the slice [base, base+size) of [seg].  For the active
+   record [current] is unused (the occupied size is [fp - base]).  For a
+   captured record:
+     multi-shot  <=>  current = size        (paper Section 3.2)
+     one-shot    <=>  current < size
+     shot        <=>  current = size = -1
+   [promoted] is the shared boxed flag of Section 3.3: when set, every
+   one-shot record sharing it reads as promoted (multi-shot) without the
+   eager chain walk. *)
+and stack_record = {
+  mutable seg : value array;
+  mutable base : int;
+  mutable size : int;
+  mutable current : int;
+  mutable link : stack_record option;
+  mutable ret : value;                   (* Retaddr of the topmost saved frame *)
+  mutable promoted : bool ref;
+}
+
+and cont = {
+  sr : stack_record;
+  one_shot : bool;                       (* which operator captured it *)
+}
+
+(* Heap-model frames (the Appel/MacQueen-style baseline VM): each frame is
+   a separately allocated record linked to its parent.  Capture is O(1)
+   pointer sharing; shared frames are copied on write to keep multi-shot
+   reinstatement sound. *)
+and hframe = {
+  mutable hslots : value array;
+  mutable hret : value;                  (* Retaddr (rdisp unused) *)
+  mutable hparent : hframe option;
+  mutable hshared : bool;
+  mutable hguards : hcont list;          (* one-shot extents consumed when
+                                            this frame returns *)
+}
+
+and hcont = {
+  hcont_frame : hframe option;           (* caller chain *)
+  hcont_ret : value;                     (* Retaddr *)
+  hcont_one_shot : bool;
+  mutable hcont_shot : bool;
+  mutable hcont_promoted : bool;
+}
+
+and ofun = {
+  oname : string;
+  ofn : value array -> (value -> value) -> value;
+}
+
+exception Scheme_error of string * value list
+(* Raised by (error who msg irritants...) and by runtime type errors. *)
+
+exception Shot_continuation
+(* Raised when a one-shot continuation is invoked a second time. *)
+
+let sym_table : (string, string) Hashtbl.t = Hashtbl.create 512
+
+(* Intern symbol names so that [Sym] payloads of equal name are physically
+   equal and [eq?] can use physical comparison. *)
+let intern name =
+  match Hashtbl.find_opt sym_table name with
+  | Some s -> s
+  | None ->
+      Hashtbl.add sym_table name name;
+      name
+
+let sym name = Sym (intern name)
+
+let gensym_counter = ref 0
+
+let gensym prefix =
+  incr gensym_counter;
+  sym (Printf.sprintf "%s%%%d" prefix !gensym_counter)

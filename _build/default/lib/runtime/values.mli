@@ -1,0 +1,39 @@
+(** Operations on runtime values: constructors, conversions, equality
+    predicates, and external representation. *)
+
+val cons : Rt.value -> Rt.value -> Rt.value
+val list_to_value : Rt.value list -> Rt.value
+val list_of_value : Rt.value -> Rt.value list
+(** @raise Rt.Scheme_error if the value is not a proper list. *)
+
+val list_of_value_opt : Rt.value -> Rt.value list option
+(** [None] if the value is not a proper list. *)
+
+val is_truthy : Rt.value -> bool
+(** Everything except [#f] is true. *)
+
+val eq : Rt.value -> Rt.value -> bool
+(** Scheme [eq?]: pointer identity on heap objects, value identity on
+    immediates; symbols are interned so name equality coincides. *)
+
+val eqv : Rt.value -> Rt.value -> bool
+(** Scheme [eqv?]: [eq?] plus numeric/character value comparison. *)
+
+val equal : Rt.value -> Rt.value -> bool
+(** Scheme [equal?]: structural, recursing through pairs, vectors, strings. *)
+
+val write_string : Rt.value -> string
+(** [write]-style external representation (strings quoted). *)
+
+val display_string : Rt.value -> string
+(** [display]-style representation (strings and chars raw). *)
+
+val pp : Format.formatter -> Rt.value -> unit
+
+val type_name : Rt.value -> string
+
+val err : string -> Rt.value list -> 'a
+(** Raise {!Rt.Scheme_error}. *)
+
+val type_error : string -> string -> Rt.value -> 'a
+(** [type_error who expected got] *)

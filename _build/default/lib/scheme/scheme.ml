@@ -1,0 +1,66 @@
+type backend =
+  | Stack of Control.config
+  | Heap
+  | Oracle
+
+type machine =
+  | M_stack of Vm.t
+  | M_heap of Heapvm.t
+  | M_oracle of Oracle.t
+
+type t = {
+  which : backend;
+  machine : machine;
+  stats : Stats.t;
+  optimize : bool;
+}
+
+let eval_machine ?fuel t src =
+  match t.machine with
+  | M_stack vm -> Vm.eval ?fuel ~optimize:t.optimize vm src
+  | M_heap vm -> Heapvm.eval ?fuel ~optimize:t.optimize vm src
+  | M_oracle o -> Oracle.eval ?fuel o src
+
+let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
+    ?(corpus = false) ?(optimize = false) () =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let machine =
+    match backend with
+    | Stack config -> M_stack (Vm.create ~config ~stats ())
+    | Heap -> M_heap (Heapvm.create ~stats ())
+    | Oracle -> M_oracle (Oracle.create ())
+  in
+  let t = { which = backend; machine; stats; optimize } in
+  if prelude then ignore (eval_machine t Prelude.source);
+  if corpus then begin
+    ignore (eval_machine t Programs.all_defs);
+    ignore (eval_machine t Threads.scheduler);
+    ignore (eval_machine t Cml.source)
+  end;
+  t
+
+let backend t = t.which
+let eval ?fuel t src = eval_machine ?fuel t src
+let eval_string ?fuel t src = Values.write_string (eval ?fuel t src)
+
+let load_corpus t =
+  ignore (eval_machine t Programs.all_defs);
+  ignore (eval_machine t Threads.scheduler);
+  ignore (eval_machine t Cml.source)
+
+let output t =
+  match t.machine with
+  | M_stack vm -> Vm.output vm
+  | M_heap vm -> Heapvm.output vm
+  | M_oracle o -> Oracle.output o
+
+let stats t = t.stats
+
+let control t =
+  match t.machine with M_stack vm -> Some vm.Vm.m | _ -> None
+
+let globals t =
+  match t.machine with
+  | M_stack vm -> vm.Vm.globals
+  | M_heap vm -> vm.Heapvm.globals
+  | M_oracle o -> Oracle.globals o

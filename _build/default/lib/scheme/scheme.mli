@@ -1,0 +1,45 @@
+(** One-call front end: a Scheme session over a chosen execution backend,
+    with the standard prelude (dynamic-wind, call/cc wrappers, list
+    library, engines) preloaded.
+
+    {[
+      let s = Scheme.create () in
+      let v = Scheme.eval s "(call/1cc (lambda (k) (k 42)))" in
+      assert (Values.write_string v = "42")
+    ]} *)
+
+type backend =
+  | Stack of Control.config  (** the paper's segmented-stack VM *)
+  | Heap  (** heap-frame baseline VM *)
+  | Oracle  (** CPS reference interpreter *)
+
+type t
+
+val create :
+  ?backend:backend -> ?stats:Stats.t -> ?prelude:bool -> ?corpus:bool ->
+  ?optimize:bool -> unit -> t
+(** Defaults: [Stack Control.default_config], prelude loaded, benchmark
+    corpus definitions not loaded, AST optimizer off (see {!Optimize}). *)
+
+val backend : t -> backend
+val eval : ?fuel:int -> t -> string -> Rt.value
+(** Evaluate a program; the last form's value.  Exceptions as in {!Vm}. *)
+
+val eval_string : ?fuel:int -> t -> string -> string
+(** Like {!eval} but renders the result with [write]. *)
+
+val load_corpus : t -> unit
+(** Load the benchmark program definitions (tak, ctak, fib, ack, deep,
+    queens, boyer, generators) and the thread systems. *)
+
+val output : t -> string
+(** Accumulated [display]/[write] output. *)
+
+val stats : t -> Stats.t
+(** Live counters of the underlying machine (all-zero for the oracle
+    unless one was passed at creation). *)
+
+val globals : t -> Globals.t
+
+val control : t -> Control.t option
+(** The segmented-stack machine underneath, when the backend is [Stack]. *)

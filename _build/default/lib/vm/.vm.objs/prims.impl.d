@@ -1,0 +1,1 @@
+lib/vm/prims.ml: Array Buffer Bytes Char Expander Float Globals Hashtbl Int List Rt Sexp Values

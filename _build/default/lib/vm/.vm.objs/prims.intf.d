@@ -1,0 +1,1 @@
+lib/vm/prims.mli: Buffer Globals Rt

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Buffer Bytecode Bytes Compiler Control Globals List Macro Prims Printf Rt Stats Values

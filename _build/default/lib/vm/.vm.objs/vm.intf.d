@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Buffer Control Globals Macro Rt Stats

@@ -1,0 +1,722 @@
+open Rt
+
+let check_int who v =
+  match v with Int n -> n | _ -> Values.type_error who "fixnum" v
+
+(* Generic numbers: fixnums promote to flonums on contact. *)
+type num = I of int | F of float
+
+let to_num who v =
+  match v with
+  | Int n -> I n
+  | Flo f -> F f
+  | _ -> Values.type_error who "number" v
+
+let num_value = function I n -> Int n | F f -> Flo f
+let num_float = function I n -> float_of_int n | F f -> f
+
+let num_binop fi ff a b =
+  match (a, b) with
+  | I x, I y -> I (fi x y)
+  | a, b -> F (ff (num_float a) (num_float b))
+
+let num_cmp a b =
+  match (a, b) with
+  | I x, I y -> compare x y
+  | a, b -> compare (num_float a) (num_float b)
+
+let check_pair who v =
+  match v with Pair p -> p | _ -> Values.type_error who "pair" v
+
+let check_str who v =
+  match v with Str s -> s | _ -> Values.type_error who "string" v
+
+let check_sym who v =
+  match v with Sym s -> s | _ -> Values.type_error who "symbol" v
+
+let check_char who v =
+  match v with Char c -> c | _ -> Values.type_error who "character" v
+
+let check_vec who v =
+  match v with Vec a -> a | _ -> Values.type_error who "vector" v
+
+let check_tbl who v =
+  match v with Tbl t -> t | _ -> Values.type_error who "hashtable" v
+
+(* Hashtable keys must hash and compare consistently with eqv?: restrict
+   them to immediates (structural = physical for interned symbols). *)
+let check_hkey who v =
+  match v with
+  | Int _ | Sym _ | Char _ | Bool _ | Nil | Flo _ -> v
+  | _ ->
+      Values.err
+        (who ^ ": hashtable keys must be eqv-comparable immediates")
+        [ v ]
+
+let check_procedure who v =
+  match v with
+  | Closure _ | Prim _ | Cont _ | Hcont _ | Ofun _ -> v
+  | _ -> Values.type_error who "procedure" v
+
+let arity_error who = Values.err (who ^ ": wrong number of arguments") []
+
+(* Argument-count helpers ------------------------------------------------ *)
+
+let a1 who f args =
+  match args with [| x |] -> f x | _ -> arity_error who
+  [@@inline]
+
+let a2 who f args =
+  match args with [| x; y |] -> f x y | _ -> arity_error who
+  [@@inline]
+
+let a3 who f args =
+  match args with [| x; y; z |] -> f x y z | _ -> arity_error who
+  [@@inline]
+
+(* Numeric fold over the arguments, promoting to flonum on contact. *)
+let num_fold who init fi ff args =
+  match Array.length args with
+  | 0 -> Int init
+  | _ ->
+      let acc = ref (to_num who args.(0)) in
+      for i = 1 to Array.length args - 1 do
+        acc := num_binop fi ff !acc (to_num who args.(i))
+      done;
+      num_value !acc
+
+let num_compare who op args =
+  if Array.length args < 2 then arity_error who;
+  let ok = ref true in
+  for i = 0 to Array.length args - 2 do
+    if
+      not
+        (op (num_cmp (to_num who args.(i)) (to_num who args.(i + 1))) 0)
+    then ok := false
+  done;
+  Bool !ok
+
+let bool_of b = Bool b
+
+(* List helpers ----------------------------------------------------------- *)
+
+let rec list_length who n v =
+  match v with
+  | Nil -> n
+  | Pair p -> list_length who (n + 1) p.cdr
+  | _ -> Values.type_error who "proper list" v
+
+let rec list_tail who v n =
+  if n = 0 then v
+  else
+    match v with
+    | Pair p -> list_tail who p.cdr (n - 1)
+    | _ -> Values.err (who ^ ": index out of range") [ v ]
+
+let append2 who a b =
+  match Values.list_of_value_opt a with
+  | Some items -> List.fold_right Values.cons items b
+  | None -> Values.type_error who "proper list" a
+
+let rec assoc_gen eqf key v =
+  match v with
+  | Nil -> Bool false
+  | Pair { car = Pair entry as hit; cdr } ->
+      if eqf key entry.car then hit else assoc_gen eqf key cdr
+  | Pair { cdr; _ } -> assoc_gen eqf key cdr
+  | _ -> Bool false
+
+let rec member_gen eqf key v =
+  match v with
+  | Nil -> Bool false
+  | Pair p -> if eqf key p.car then Pair p else member_gen eqf key p.cdr
+  | _ -> Bool false
+
+(* ------------------------------------------------------------------ *)
+(* The table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pure name arity f = (name, { pname = name; parity = arity; pfn = Pure f })
+
+let special name arity s =
+  (name, { pname = name; parity = arity; pfn = Special s })
+
+let the_prims ~out : (string * prim) list =
+  let display_v v =
+    Buffer.add_string out (Values.display_string v);
+    Void
+  in
+  let write_v v =
+    Buffer.add_string out (Values.write_string v);
+    Void
+  in
+  [
+    (* -- arithmetic ------------------------------------------------- *)
+    pure "+" (At_least 0) (fun args -> num_fold "+" 0 ( + ) ( +. ) args);
+    pure "*" (At_least 0) (fun args -> num_fold "*" 1 ( * ) ( *. ) args);
+    pure "-" (At_least 1) (fun args ->
+        match Array.length args with
+        | 1 -> (
+            match to_num "-" args.(0) with
+            | I n -> Int (-n)
+            | F f -> Flo (-.f))
+        | _ -> num_fold "-" 0 ( - ) ( -. ) args);
+    pure "/" (At_least 1) (fun args ->
+        (* exact when it divides evenly, inexact otherwise (no rationals) *)
+        let div a b =
+          match (a, b) with
+          | I x, I y when y <> 0 && x mod y = 0 -> I (x / y)
+          | _, b when num_float b = 0. && (match b with I _ -> true | _ -> false)
+            ->
+              Values.err "/: division by zero" []
+          | a, b -> F (num_float a /. num_float b)
+        in
+        match Array.length args with
+        | 1 -> num_value (div (I 1) (to_num "/" args.(0)))
+        | _ ->
+            let acc = ref (to_num "/" args.(0)) in
+            for i = 1 to Array.length args - 1 do
+              acc := div !acc (to_num "/" args.(i))
+            done;
+            num_value !acc);
+    pure "quotient" (Exactly 2)
+      (a2 "quotient" (fun a b ->
+           let b = check_int "quotient" b in
+           if b = 0 then Values.err "quotient: division by zero" [];
+           Int (check_int "quotient" a / b)));
+    pure "remainder" (Exactly 2)
+      (a2 "remainder" (fun a b ->
+           let b = check_int "remainder" b in
+           if b = 0 then Values.err "remainder: division by zero" [];
+           Int (Int.rem (check_int "remainder" a) b)));
+    pure "modulo" (Exactly 2)
+      (a2 "modulo" (fun a b ->
+           let b = check_int "modulo" b in
+           if b = 0 then Values.err "modulo: division by zero" [];
+           let r = Int.rem (check_int "modulo" a) b in
+           Int (if (r < 0) <> (b < 0) && r <> 0 then r + b else r)));
+    pure "abs" (Exactly 1)
+      (a1 "abs" (fun a ->
+           match to_num "abs" a with
+           | I n -> Int (abs n)
+           | F f -> Flo (Float.abs f)));
+    pure "min" (At_least 1) (fun args -> num_fold "min" 0 min Float.min args);
+    pure "max" (At_least 1) (fun args -> num_fold "max" 0 max Float.max args);
+    pure "=" (At_least 2) (num_compare "=" ( = ));
+    pure "<" (At_least 2) (num_compare "<" ( < ));
+    pure ">" (At_least 2) (num_compare ">" ( > ));
+    pure "<=" (At_least 2) (num_compare "<=" ( <= ));
+    pure ">=" (At_least 2) (num_compare ">=" ( >= ));
+    (* -- flonum-specific ---------------------------------------------- *)
+    pure "exact->inexact" (Exactly 1)
+      (a1 "exact->inexact" (fun a -> Flo (num_float (to_num "exact->inexact" a))));
+    pure "inexact->exact" (Exactly 1)
+      (a1 "inexact->exact" (fun a ->
+           match to_num "inexact->exact" a with
+           | I n -> Int n
+           | F f ->
+               if Float.is_integer f then Int (int_of_float f)
+               else Values.err "inexact->exact: not an integer" [ a ]));
+    pure "exact?" (Exactly 1)
+      (a1 "exact?" (fun a ->
+           match a with
+           | Int _ -> Bool true
+           | Flo _ -> Bool false
+           | v -> Values.type_error "exact?" "number" v));
+    pure "inexact?" (Exactly 1)
+      (a1 "inexact?" (fun a ->
+           match a with
+           | Flo _ -> Bool true
+           | Int _ -> Bool false
+           | v -> Values.type_error "inexact?" "number" v));
+    pure "real?" (Exactly 1)
+      (a1 "real?" (fun a ->
+           bool_of (match a with Int _ | Flo _ -> true | _ -> false)));
+    pure "floor" (Exactly 1)
+      (a1 "floor" (fun a ->
+           match to_num "floor" a with
+           | I n -> Int n
+           | F f -> Flo (Float.floor f)));
+    pure "ceiling" (Exactly 1)
+      (a1 "ceiling" (fun a ->
+           match to_num "ceiling" a with
+           | I n -> Int n
+           | F f -> Flo (Float.ceil f)));
+    pure "truncate" (Exactly 1)
+      (a1 "truncate" (fun a ->
+           match to_num "truncate" a with
+           | I n -> Int n
+           | F f -> Flo (Float.trunc f)));
+    pure "round" (Exactly 1)
+      (a1 "round" (fun a ->
+           match to_num "round" a with
+           | I n -> Int n
+           | F f ->
+               (* round-to-even *)
+               let r = Float.round f in
+               Flo
+                 (if Float.abs (f -. Float.trunc f) = 0.5 then
+                    if Float.rem r 2. = 0. then r
+                    else r -. Float.copy_sign 1. f
+                  else r)));
+    pure "sqrt" (Exactly 1)
+      (a1 "sqrt" (fun a ->
+           match to_num "sqrt" a with
+           | I n when n >= 0 ->
+               let r = int_of_float (Float.sqrt (float_of_int n)) in
+               if r * r = n then Int r
+               else Flo (Float.sqrt (float_of_int n))
+           | n -> Flo (Float.sqrt (num_float n))));
+    pure "expt" (Exactly 2)
+      (a2 "expt" (fun a b ->
+           match (to_num "expt" a, to_num "expt" b) with
+           | I x, I y when y >= 0 ->
+               let rec go acc b e =
+                 if e = 0 then acc
+                 else go (if e land 1 = 1 then acc * b else acc) (b * b)
+                   (e lsr 1)
+               in
+               Int (go 1 x y)
+           | a, b -> Flo (Float.pow (num_float a) (num_float b))));
+    pure "exp" (Exactly 1)
+      (a1 "exp" (fun a -> Flo (Float.exp (num_float (to_num "exp" a)))));
+    pure "log" (Exactly 1)
+      (a1 "log" (fun a -> Flo (Float.log (num_float (to_num "log" a)))));
+    pure "sin" (Exactly 1)
+      (a1 "sin" (fun a -> Flo (Float.sin (num_float (to_num "sin" a)))));
+    pure "cos" (Exactly 1)
+      (a1 "cos" (fun a -> Flo (Float.cos (num_float (to_num "cos" a)))));
+    pure "atan" (At_least 1) (fun args ->
+        match args with
+        | [| a |] -> Flo (Float.atan (num_float (to_num "atan" a)))
+        | [| a; b |] ->
+            Flo
+              (Float.atan2
+                 (num_float (to_num "atan" a))
+                 (num_float (to_num "atan" b)))
+        | _ -> arity_error "atan");
+    pure "zero?" (Exactly 1)
+      (a1 "zero?" (fun a -> bool_of (num_cmp (to_num "zero?" a) (I 0) = 0)));
+    pure "positive?" (Exactly 1)
+      (a1 "positive?" (fun a ->
+           bool_of (num_cmp (to_num "positive?" a) (I 0) > 0)));
+    pure "negative?" (Exactly 1)
+      (a1 "negative?" (fun a ->
+           bool_of (num_cmp (to_num "negative?" a) (I 0) < 0)));
+    pure "even?" (Exactly 1)
+      (a1 "even?" (fun a -> bool_of (check_int "even?" a land 1 = 0)));
+    pure "odd?" (Exactly 1)
+      (a1 "odd?" (fun a -> bool_of (check_int "odd?" a land 1 = 1)));
+    pure "1+" (Exactly 1) (a1 "1+" (fun a -> Int (check_int "1+" a + 1)));
+    pure "1-" (Exactly 1) (a1 "1-" (fun a -> Int (check_int "1-" a - 1)));
+    (* -- predicates -------------------------------------------------- *)
+    pure "eq?" (Exactly 2) (a2 "eq?" (fun a b -> bool_of (Values.eq a b)));
+    pure "eqv?" (Exactly 2) (a2 "eqv?" (fun a b -> bool_of (Values.eqv a b)));
+    pure "equal?" (Exactly 2)
+      (a2 "equal?" (fun a b -> bool_of (Values.equal a b)));
+    pure "not" (Exactly 1) (a1 "not" (fun a -> bool_of (not (Values.is_truthy a))));
+    pure "null?" (Exactly 1) (a1 "null?" (fun a -> bool_of (a = Nil)));
+    pure "list?" (Exactly 1)
+      (a1 "list?" (fun a ->
+           bool_of
+             (match Values.list_of_value_opt a with
+             | Some _ -> true
+             | None -> false)));
+    pure "pair?" (Exactly 1)
+      (a1 "pair?" (fun a -> bool_of (match a with Pair _ -> true | _ -> false)));
+    pure "symbol?" (Exactly 1)
+      (a1 "symbol?" (fun a -> bool_of (match a with Sym _ -> true | _ -> false)));
+    pure "number?" (Exactly 1)
+      (a1 "number?" (fun a ->
+           bool_of (match a with Int _ | Flo _ -> true | _ -> false)));
+    pure "integer?" (Exactly 1)
+      (a1 "integer?" (fun a -> bool_of (match a with Int _ -> true | _ -> false)));
+    pure "string?" (Exactly 1)
+      (a1 "string?" (fun a -> bool_of (match a with Str _ -> true | _ -> false)));
+    pure "char?" (Exactly 1)
+      (a1 "char?" (fun a -> bool_of (match a with Char _ -> true | _ -> false)));
+    pure "boolean?" (Exactly 1)
+      (a1 "boolean?" (fun a ->
+           bool_of (match a with Bool _ -> true | _ -> false)));
+    pure "vector?" (Exactly 1)
+      (a1 "vector?" (fun a -> bool_of (match a with Vec _ -> true | _ -> false)));
+    pure "procedure?" (Exactly 1)
+      (a1 "procedure?" (fun a ->
+           bool_of
+             (match a with Closure _ | Prim _ | Cont _ | Hcont _ | Ofun _ -> true | _ -> false)));
+    pure "eof-object?" (Exactly 1)
+      (a1 "eof-object?" (fun a -> bool_of (a = Eof)));
+    (* -- pairs and lists --------------------------------------------- *)
+    pure "cons" (Exactly 2) (a2 "cons" Values.cons);
+    pure "car" (Exactly 1) (a1 "car" (fun v -> (check_pair "car" v).car));
+    pure "cdr" (Exactly 1) (a1 "cdr" (fun v -> (check_pair "cdr" v).cdr));
+    pure "caar" (Exactly 1)
+      (a1 "caar" (fun v -> (check_pair "caar" (check_pair "caar" v).car).car));
+    pure "cadr" (Exactly 1)
+      (a1 "cadr" (fun v -> (check_pair "cadr" (check_pair "cadr" v).cdr).car));
+    pure "cdar" (Exactly 1)
+      (a1 "cdar" (fun v -> (check_pair "cdar" (check_pair "cdar" v).car).cdr));
+    pure "cddr" (Exactly 1)
+      (a1 "cddr" (fun v -> (check_pair "cddr" (check_pair "cddr" v).cdr).cdr));
+    pure "caddr" (Exactly 1)
+      (a1 "caddr" (fun v ->
+           (check_pair "caddr"
+              (check_pair "caddr" (check_pair "caddr" v).cdr).cdr)
+             .car));
+    pure "set-car!" (Exactly 2)
+      (a2 "set-car!" (fun p v ->
+           (check_pair "set-car!" p).car <- v;
+           Void));
+    pure "set-cdr!" (Exactly 2)
+      (a2 "set-cdr!" (fun p v ->
+           (check_pair "set-cdr!" p).cdr <- v;
+           Void));
+    pure "list" (At_least 0) (fun args ->
+        Values.list_to_value (Array.to_list args));
+    pure "length" (Exactly 1)
+      (a1 "length" (fun v -> Int (list_length "length" 0 v)));
+    pure "append" (At_least 0) (fun args ->
+        match Array.length args with
+        | 0 -> Nil
+        | n ->
+            let acc = ref args.(n - 1) in
+            for i = n - 2 downto 0 do
+              acc := append2 "append" args.(i) !acc
+            done;
+            !acc);
+    pure "reverse" (Exactly 1)
+      (a1 "reverse" (fun v ->
+           Values.list_to_value (List.rev (Values.list_of_value v))));
+    pure "list-tail" (Exactly 2)
+      (a2 "list-tail" (fun v n -> list_tail "list-tail" v (check_int "list-tail" n)));
+    pure "list-ref" (Exactly 2)
+      (a2 "list-ref" (fun v n ->
+           match list_tail "list-ref" v (check_int "list-ref" n) with
+           | Pair p -> p.car
+           | _ -> Values.err "list-ref: index out of range" [ v; n ]));
+    pure "assq" (Exactly 2) (a2 "assq" (assoc_gen Values.eq));
+    pure "assv" (Exactly 2) (a2 "assv" (assoc_gen Values.eqv));
+    pure "assoc" (Exactly 2) (a2 "assoc" (assoc_gen Values.equal));
+    pure "memq" (Exactly 2) (a2 "memq" (member_gen Values.eq));
+    pure "memv" (Exactly 2) (a2 "memv" (member_gen Values.eqv));
+    pure "member" (Exactly 2) (a2 "member" (member_gen Values.equal));
+    (* -- symbols, strings, chars ------------------------------------- *)
+    pure "symbol->string" (Exactly 1)
+      (a1 "symbol->string" (fun v ->
+           Str (Bytes.of_string (check_sym "symbol->string" v))));
+    pure "string->symbol" (Exactly 1)
+      (a1 "string->symbol" (fun v ->
+           sym (Bytes.to_string (check_str "string->symbol" v))));
+    pure "gensym" (At_least 0) (fun args ->
+        let prefix =
+          if Array.length args > 0 then check_sym "gensym" args.(0) else "g"
+        in
+        gensym prefix);
+    pure "string-length" (Exactly 1)
+      (a1 "string-length" (fun v ->
+           Int (Bytes.length (check_str "string-length" v))));
+    pure "string-append" (At_least 0) (fun args ->
+        let buf = Buffer.create 16 in
+        Array.iter
+          (fun v -> Buffer.add_bytes buf (check_str "string-append" v))
+          args;
+        Str (Buffer.to_bytes buf));
+    pure "string-ref" (Exactly 2)
+      (a2 "string-ref" (fun s i ->
+           let s = check_str "string-ref" s and i = check_int "string-ref" i in
+           if i < 0 || i >= Bytes.length s then
+             Values.err "string-ref: index out of range" [ Int i ];
+           Char (Bytes.get s i)));
+    pure "string-set!" (Exactly 3)
+      (a3 "string-set!" (fun s i c ->
+           let s = check_str "string-set!" s
+           and i = check_int "string-set!" i
+           and c = check_char "string-set!" c in
+           if i < 0 || i >= Bytes.length s then
+             Values.err "string-set!: index out of range" [ Int i ];
+           Bytes.set s i c;
+           Void));
+    pure "substring" (Exactly 3)
+      (a3 "substring" (fun s a b ->
+           let s = check_str "substring" s
+           and a = check_int "substring" a
+           and b = check_int "substring" b in
+           if a < 0 || b > Bytes.length s || a > b then
+             Values.err "substring: bad range" [ Int a; Int b ];
+           Str (Bytes.sub s a (b - a))));
+    pure "string=?" (Exactly 2)
+      (a2 "string=?" (fun a b ->
+           bool_of (Bytes.equal (check_str "string=?" a) (check_str "string=?" b))));
+    pure "string<?" (Exactly 2)
+      (a2 "string<?" (fun a b ->
+           bool_of (Bytes.compare (check_str "string<?" a) (check_str "string<?" b) < 0)));
+    pure "string>?" (Exactly 2)
+      (a2 "string>?" (fun a b ->
+           bool_of (Bytes.compare (check_str "string>?" a) (check_str "string>?" b) > 0)));
+    pure "string-upcase" (Exactly 1)
+      (a1 "string-upcase" (fun v ->
+           Str (Bytes.uppercase_ascii (check_str "string-upcase" v))));
+    pure "string-downcase" (Exactly 1)
+      (a1 "string-downcase" (fun v ->
+           Str (Bytes.lowercase_ascii (check_str "string-downcase" v))));
+    pure "make-string" (At_least 1) (fun args ->
+        let n = check_int "make-string" args.(0) in
+        if n < 0 then Values.err "make-string: negative size" [ args.(0) ];
+        let fill =
+          if Array.length args > 1 then check_char "make-string" args.(1)
+          else ' '
+        in
+        Str (Bytes.make n fill));
+    pure "string" (At_least 0) (fun args ->
+        let b = Bytes.create (Array.length args) in
+        Array.iteri (fun i c -> Bytes.set b i (check_char "string" c)) args;
+        Str b);
+    pure "string->list" (Exactly 1)
+      (a1 "string->list" (fun v ->
+           Values.list_to_value
+             (List.map (fun c -> Char c)
+                (List.of_seq (Bytes.to_seq (check_str "string->list" v))))));
+    pure "list->string" (Exactly 1)
+      (a1 "list->string" (fun v ->
+           let chars = Values.list_of_value v in
+           let b = Bytes.create (List.length chars) in
+           List.iteri (fun i c -> Bytes.set b i (check_char "list->string" c)) chars;
+           Str b));
+    pure "number->string" (Exactly 1)
+      (a1 "number->string" (fun v ->
+           match v with
+           | Int _ | Flo _ -> Str (Bytes.of_string (Values.display_string v))
+           | v -> Values.type_error "number->string" "number" v));
+    pure "string->number" (Exactly 1)
+      (a1 "string->number" (fun v ->
+           let s = Bytes.to_string (check_str "string->number" v) in
+           match int_of_string_opt s with
+           | Some n -> Int n
+           | None -> (
+               match float_of_string_opt s with
+               | Some f -> Flo f
+               | None -> Bool false)));
+    pure "char->integer" (Exactly 1)
+      (a1 "char->integer" (fun v -> Int (Char.code (check_char "char->integer" v))));
+    pure "integer->char" (Exactly 1)
+      (a1 "integer->char" (fun v ->
+           let n = check_int "integer->char" v in
+           if n < 0 || n > 255 then
+             Values.err "integer->char: out of range" [ v ];
+           Char (Char.chr n)));
+    pure "char-upcase" (Exactly 1)
+      (a1 "char-upcase" (fun v -> Char (Char.uppercase_ascii (check_char "char-upcase" v))));
+    pure "char-downcase" (Exactly 1)
+      (a1 "char-downcase" (fun v -> Char (Char.lowercase_ascii (check_char "char-downcase" v))));
+    pure "char-alphabetic?" (Exactly 1)
+      (a1 "char-alphabetic?" (fun v ->
+           let c = check_char "char-alphabetic?" v in
+           bool_of ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))));
+    pure "char-numeric?" (Exactly 1)
+      (a1 "char-numeric?" (fun v ->
+           let c = check_char "char-numeric?" v in
+           bool_of (c >= '0' && c <= '9')));
+    pure "char-whitespace?" (Exactly 1)
+      (a1 "char-whitespace?" (fun v ->
+           let c = check_char "char-whitespace?" v in
+           bool_of (c = ' ' || c = '\t' || c = '\n' || c = '\r')));
+    pure "char=?" (Exactly 2)
+      (a2 "char=?" (fun a b ->
+           bool_of (check_char "char=?" a = check_char "char=?" b)));
+    pure "char<?" (Exactly 2)
+      (a2 "char<?" (fun a b ->
+           bool_of (check_char "char<?" a < check_char "char<?" b)));
+    (* -- vectors ------------------------------------------------------ *)
+    pure "make-vector" (At_least 1) (fun args ->
+        let n = check_int "make-vector" args.(0) in
+        if n < 0 then Values.err "make-vector: negative size" [ args.(0) ];
+        let fill = if Array.length args > 1 then args.(1) else Int 0 in
+        Vec (Array.make n fill));
+    pure "vector" (At_least 0) (fun args -> Vec (Array.copy args));
+    pure "vector-length" (Exactly 1)
+      (a1 "vector-length" (fun v -> Int (Array.length (check_vec "vector-length" v))));
+    pure "vector-ref" (Exactly 2)
+      (a2 "vector-ref" (fun v i ->
+           let a = check_vec "vector-ref" v and i = check_int "vector-ref" i in
+           if i < 0 || i >= Array.length a then
+             Values.err "vector-ref: index out of range" [ Int i ];
+           a.(i)));
+    pure "vector-set!" (Exactly 3)
+      (a3 "vector-set!" (fun v i x ->
+           let a = check_vec "vector-set!" v and i = check_int "vector-set!" i in
+           if i < 0 || i >= Array.length a then
+             Values.err "vector-set!: index out of range" [ Int i ];
+           a.(i) <- x;
+           Void));
+    pure "vector->list" (Exactly 1)
+      (a1 "vector->list" (fun v ->
+           Values.list_to_value (Array.to_list (check_vec "vector->list" v))));
+    pure "list->vector" (Exactly 1)
+      (a1 "list->vector" (fun v ->
+           Vec (Array.of_list (Values.list_of_value v))));
+    pure "vector-fill!" (Exactly 2)
+      (a2 "vector-fill!" (fun v x ->
+           Array.fill (check_vec "vector-fill!" v) 0
+             (Array.length (check_vec "vector-fill!" v))
+             x;
+           Void));
+    (* -- hashtables (eqv-comparable immediate keys) -------------------- *)
+    pure "make-hashtable" (Exactly 0) (fun _ -> Tbl (Hashtbl.create 16));
+    pure "hashtable?" (Exactly 1)
+      (a1 "hashtable?" (fun v ->
+           bool_of (match v with Tbl _ -> true | _ -> false)));
+    pure "hashtable-set!" (Exactly 3)
+      (a3 "hashtable-set!" (fun t k v ->
+           let t = check_tbl "hashtable-set!" t in
+           Hashtbl.replace t (check_hkey "hashtable-set!" k) v;
+           Void));
+    pure "hashtable-ref" (Exactly 3)
+      (a3 "hashtable-ref" (fun t k default ->
+           let t = check_tbl "hashtable-ref" t in
+           match Hashtbl.find_opt t (check_hkey "hashtable-ref" k) with
+           | Some v -> v
+           | None -> default));
+    pure "hashtable-contains?" (Exactly 2)
+      (a2 "hashtable-contains?" (fun t k ->
+           let t = check_tbl "hashtable-contains?" t in
+           bool_of (Hashtbl.mem t (check_hkey "hashtable-contains?" k))));
+    pure "hashtable-delete!" (Exactly 2)
+      (a2 "hashtable-delete!" (fun t k ->
+           let t = check_tbl "hashtable-delete!" t in
+           Hashtbl.remove t (check_hkey "hashtable-delete!" k);
+           Void));
+    pure "hashtable-size" (Exactly 1)
+      (a1 "hashtable-size" (fun t ->
+           Int (Hashtbl.length (check_tbl "hashtable-size" t))));
+    pure "hashtable-keys" (Exactly 1)
+      (a1 "hashtable-keys" (fun t ->
+           Values.list_to_value
+             (Hashtbl.fold (fun k _ acc -> k :: acc)
+                (check_tbl "hashtable-keys" t) [])));
+    pure "hashtable-values" (Exactly 1)
+      (a1 "hashtable-values" (fun t ->
+           Values.list_to_value
+             (Hashtbl.fold (fun _ v acc -> v :: acc)
+                (check_tbl "hashtable-values" t) [])));
+    pure "hashtable->alist" (Exactly 1)
+      (a1 "hashtable->alist" (fun t ->
+           Values.list_to_value
+             (Hashtbl.fold
+                (fun k v acc -> Values.cons k v :: acc)
+                (check_tbl "hashtable->alist" t) [])));
+    pure "hashtable-copy" (Exactly 1)
+      (a1 "hashtable-copy" (fun t ->
+           Tbl (Hashtbl.copy (check_tbl "hashtable-copy" t))));
+    (* -- output -------------------------------------------------------- *)
+    pure "%output-mark" (Exactly 0) (fun _ -> Int (Buffer.length out));
+    pure "%output-take" (Exactly 1)
+      (a1 "%output-take" (fun v ->
+           let mark = check_int "%output-take" v in
+           let len = Buffer.length out in
+           if mark < 0 || mark > len then
+             Values.err "%output-take: stale mark" [ v ];
+           let s = Buffer.sub out mark (len - mark) in
+           Buffer.truncate out mark;
+           Str (Bytes.of_string s)));
+    pure "display" (Exactly 1) (a1 "display" display_v);
+    pure "write" (Exactly 1) (a1 "write" write_v);
+    pure "newline" (Exactly 0) (fun _ ->
+        Buffer.add_char out '\n';
+        Void);
+    (* -- misc ----------------------------------------------------------- *)
+    pure "void" (Exactly 0) (fun _ -> Void);
+    pure "%raw-error" (At_least 1) (fun args ->
+        (* (error who msg irritant ...) or (error msg irritant ...) *)
+        match args with
+        | [| m |] -> raise (Scheme_error (Values.display_string m, []))
+        | _ -> (
+            match args.(0) with
+            | Sym who ->
+                raise
+                  (Scheme_error
+                     ( who ^ ": " ^ Values.display_string args.(1),
+                       Array.to_list (Array.sub args 2 (Array.length args - 2))
+                     ))
+            | m ->
+                raise
+                  (Scheme_error
+                     ( Values.display_string m,
+                       Array.to_list (Array.sub args 1 (Array.length args - 1))
+                     ))));
+    (let raw =
+       { pname = "error"; parity = At_least 1;
+         pfn =
+           Pure
+             (fun args ->
+               match args with
+               | [| m |] -> raise (Scheme_error (Values.display_string m, []))
+               | _ -> (
+                   match args.(0) with
+                   | Sym who ->
+                       raise
+                         (Scheme_error
+                            ( who ^ ": " ^ Values.display_string args.(1),
+                              Array.to_list
+                                (Array.sub args 2 (Array.length args - 2)) ))
+                   | m ->
+                       raise
+                         (Scheme_error
+                            ( Values.display_string m,
+                              Array.to_list
+                                (Array.sub args 1 (Array.length args - 1)) ))));
+       }
+     in
+     ("error", raw));
+    pure "%values->list" (Exactly 1)
+      (a1 "%values->list" (fun v ->
+           match v with
+           | Mvals vs -> Values.list_to_value vs
+           | v -> Values.cons v Nil));
+    pure "%continuation?" (Exactly 1)
+      (a1 "%continuation?" (fun v ->
+           bool_of (match v with Cont _ | Hcont _ -> true | _ -> false)));
+    pure "%continuation-one-shot?" (Exactly 1)
+      (a1 "%continuation-one-shot?" (fun v ->
+           match v with
+           | Cont c -> bool_of c.one_shot
+           | Hcont c -> bool_of c.hcont_one_shot
+           | v -> Values.type_error "%continuation-one-shot?" "continuation" v));
+    pure "%continuation-shot?" (Exactly 1)
+      (a1 "%continuation-shot?" (fun v ->
+           match v with
+           | Cont c -> bool_of (c.sr.size = -1)
+           | Hcont c -> bool_of c.hcont_shot
+           | v -> Values.type_error "%continuation-shot?" "continuation" v));
+    pure "%continuation-promoted?" (Exactly 1)
+      (a1 "%continuation-promoted?" (fun v ->
+           match v with
+           | Cont c ->
+               bool_of
+                 (c.sr.size <> -1
+                 && (c.sr.size = c.sr.current || !(c.sr.promoted)))
+           | Hcont c -> bool_of (c.hcont_promoted || not c.hcont_one_shot)
+           | v -> Values.type_error "%continuation-promoted?" "continuation" v));
+    (* -- control specials (handled by the machine loops) ---------------- *)
+    special "%call/cc" (Exactly 1) Sp_callcc;
+    special "%call/1cc" (Exactly 1) Sp_call1cc;
+    special "apply" (At_least 2) Sp_apply;
+    special "values" (At_least 0) Sp_values;
+    special "%set-timer!" (Exactly 2) Sp_set_timer;
+    special "%get-timer" (Exactly 0) Sp_get_timer;
+    special "%stat" (Exactly 1) Sp_stats;
+    special "%backtrace" (Exactly 0) Sp_backtrace;
+    special "eval" (Exactly 1) Sp_eval;
+    pure "read-from-string" (Exactly 1)
+      (a1 "read-from-string" (fun v ->
+           let src = Bytes.to_string (check_str "read-from-string" v) in
+           match Sexp.read_all src with
+           | [] -> Eof
+           | d :: _ -> Expander.datum_to_value d
+           | exception Sexp.Read_error (msg, _) ->
+               Values.err ("read-from-string: " ^ msg) []));
+  ]
+
+let install ~out globals =
+  List.iter
+    (fun (name, p) -> Globals.define globals name (Prim p))
+    (the_prims ~out)

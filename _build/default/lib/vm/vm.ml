@@ -1,0 +1,409 @@
+open Rt
+
+type t = {
+  m : Control.t;
+  globals : Globals.t;
+  menv : Macro.menv;
+  out : Buffer.t;
+  mutable acc : value;
+  mutable code : code;
+  mutable pc : int;
+  mutable nargs : int;
+  mutable timer : int;
+  mutable timer_handler : value;
+  mutable halted : bool;
+  mutable fuel : int;
+}
+
+exception Vm_fuel_exhausted
+
+let halt_code =
+  Bytecode.make_code ~name:"%halt" ~arity:(Exactly 0) ~frame_words:2 [| Halt |]
+
+let create ?(config = Control.default_config) ?stats () =
+  let out = Buffer.create 256 in
+  let globals = Globals.create () in
+  Prims.install ~out globals;
+  {
+    m = Control.create ?stats config;
+    globals;
+    menv = Macro.create_menv ();
+    out;
+    acc = Void;
+    code = halt_code;
+    pc = 0;
+    nargs = 0;
+    timer = -1;
+    timer_handler = Void;
+    halted = false;
+    fuel = -1;
+  }
+
+let stats vm = vm.m.Control.stats
+let output vm = Buffer.contents vm.out
+
+(* ------------------------------------------------------------------ *)
+(* Returns and underflow                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame re-entered after a return or continuation invocation may sit
+   near the top of a smaller segment than the one its [Enter] validated:
+   re-establish the frame-extent guarantee before its code resumes. *)
+let ensure_resumed_frame_room vm =
+  let m = vm.m in
+  let fw = vm.code.frame_words in
+  if not (Control.room m fw) then
+    Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:fw
+
+let do_return vm =
+  let m = vm.m in
+  match m.Control.sr.seg.(m.Control.fp) with
+  | Retaddr r ->
+      m.Control.fp <- m.Control.fp - r.rdisp;
+      vm.code <- r.rcode;
+      vm.pc <- r.rpc;
+      ensure_resumed_frame_room vm
+  | Underflow_mark -> (
+      (* Paper Section 3.2: returning through the bottom frame of a
+         segment implicitly invokes the record linked below — consuming
+         it if it is one-shot. *)
+      match Control.underflow m with
+      | Some r ->
+          vm.code <- r.rcode;
+          vm.pc <- r.rpc;
+          ensure_resumed_frame_room vm
+      | None -> vm.halted <- true)
+  | v -> Values.err "vm: corrupt frame: bad return slot" [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply [f] whose frame starts at [nfp] (return slot already correct and
+   arguments at [nfp+2 ..]).  Used for both non-tail calls (fresh return
+   address) and tail calls (inherited return slot). *)
+let rec apply vm f nfp nargs =
+  let m = vm.m in
+  let stats = m.Control.stats in
+  match f with
+  | Closure c ->
+      m.Control.fp <- nfp;
+      vm.code <- c.code;
+      vm.pc <- 0;
+      vm.nargs <- nargs;
+      stats.Stats.calls <- stats.Stats.calls + 1
+  | Prim { pfn = Pure fn; parity; pname } ->
+      if not (Bytecode.arity_matches parity nargs) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      let seg = m.Control.sr.seg in
+      let args = Array.init nargs (fun i -> seg.(nfp + 2 + i)) in
+      stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      vm.acc <- fn args;
+      (* Frame pointer is untouched for pure primitives: if this was a
+         tail call ([nfp] = fp) the caller's Return follows; if it was a
+         non-tail call, execution simply continues in the caller. *)
+      if nfp = m.Control.fp then do_return vm
+  | Prim { pfn = Special sp; parity; pname } ->
+      if not (Bytecode.arity_matches parity nargs) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      m.Control.fp <- nfp;
+      stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      special vm sp nargs
+  | Cont c -> invoke_continuation vm c nfp nargs
+  | v -> Values.err "application of non-procedure" [ v ]
+
+and invoke_continuation vm c nfp nargs =
+  let m = vm.m in
+  let seg = m.Control.sr.seg in
+  let v =
+    if nargs = 1 then seg.(nfp + 2)
+    else Mvals (Array.to_list (Array.init nargs (fun i -> seg.(nfp + 2 + i))))
+  in
+  let r = Control.reinstate m c.sr in
+  vm.code <- r.rcode;
+  vm.pc <- r.rpc;
+  ensure_resumed_frame_room vm;
+  vm.acc <- v
+
+(* Specials execute with fp at their own frame: [ret][prim][args...]. *)
+and special vm sp nargs =
+  let m = vm.m in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  match sp with
+  | Sp_callcc ->
+      let p = Prims.check_procedure "%call/cc" seg.(fp + 2) in
+      let sr = Control.capture_multi m in
+      let k = Cont { sr; one_shot = false } in
+      tail_apply_2 vm p k
+  | Sp_call1cc ->
+      let p = Prims.check_procedure "%call/1cc" seg.(fp + 2) in
+      let sr = Control.capture_oneshot m in
+      let one_shot = not (Control.is_multi sr) in
+      let k = Cont { sr; one_shot } in
+      tail_apply_2 vm p k
+  | Sp_apply ->
+      let f = Prims.check_procedure "apply" seg.(fp + 2) in
+      let fixed = Array.init (nargs - 2) (fun i -> seg.(fp + 3 + i)) in
+      let last = Values.list_of_value seg.(fp + 2 + nargs - 1) in
+      let all = Array.append fixed (Array.of_list last) in
+      let n = Array.length all in
+      Control.ensure_room m ~live_top:(fp + 1) ~need:(n + 8);
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      seg.(fp + 1) <- f;
+      Array.blit all 0 seg (fp + 2) n;
+      apply vm f fp n
+  | Sp_values ->
+      (if nargs = 1 then vm.acc <- seg.(fp + 2)
+       else
+         vm.acc <-
+           Mvals (Array.to_list (Array.init nargs (fun i -> seg.(fp + 2 + i)))));
+      do_return vm
+  | Sp_set_timer ->
+      let ticks = Prims.check_int "%set-timer!" seg.(fp + 2) in
+      vm.timer_handler <- seg.(fp + 3);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      vm.acc <- Void;
+      do_return vm
+  | Sp_get_timer ->
+      vm.acc <- Int (max vm.timer 0);
+      do_return vm
+  | Sp_stats ->
+      let name =
+        match seg.(fp + 2) with
+        | Sym s -> s
+        | v -> Values.type_error "%stat" "symbol" v
+      in
+      (vm.acc <-
+         (match Stats.get m.Control.stats name with
+         | n -> Int n
+         | exception Not_found ->
+             Values.err ("%stat: unknown counter " ^ name) []));
+      do_return vm
+  | Sp_backtrace ->
+      vm.acc <-
+        Values.list_to_value
+          (List.map (fun n -> sym n) (Control.backtrace m));
+      do_return vm
+  | Sp_eval ->
+      let datum = seg.(fp + 2) in
+      let code = Compiler.compile_eval ~menv:vm.menv vm.globals datum in
+      let clos = Closure { code; frees = [||] } in
+      seg.(fp + 1) <- clos;
+      apply vm clos fp 0
+
+(* Tail-call [p] with the single argument [k] from the current frame
+   (used by the capture operations after sealing). *)
+and tail_apply_2 vm p k =
+  let m = vm.m in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  seg.(fp + 1) <- p;
+  seg.(fp + 2) <- k;
+  apply vm p fp 1
+
+(* ------------------------------------------------------------------ *)
+(* Procedure entry: arity, overflow, rest collection, timer            *)
+(* ------------------------------------------------------------------ *)
+
+let fire_timer vm =
+  let m = vm.m in
+  let fw = vm.code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 4);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let handler = vm.timer_handler in
+  seg.(fp + fw) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  seg.(fp + fw + 1) <- handler;
+  apply vm handler (fp + fw) 0
+
+let enter vm =
+  let m = vm.m in
+  let c = vm.code in
+  let n = vm.nargs in
+  (match c.arity with
+  | Exactly k ->
+      if n <> k then
+        Values.err
+          (Printf.sprintf "%s: expected %d arguments, got %d" c.cname k n)
+          []
+  | At_least k ->
+      if n < k then
+        Values.err
+          (Printf.sprintf "%s: expected at least %d arguments, got %d" c.cname
+             k n)
+          []);
+  Control.ensure_room m ~live_top:(m.Control.fp + 2 + n) ~need:c.frame_words;
+  (match c.arity with
+  | At_least k ->
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      let rest = ref Nil in
+      for i = n - 1 downto k do
+        rest := Values.cons seg.(fp + 2 + i) !rest
+      done;
+      seg.(fp + 2 + k) <- !rest
+  | Exactly _ -> ());
+  if vm.timer > 0 then begin
+    vm.timer <- vm.timer - 1;
+    if vm.timer = 0 then begin
+      vm.timer <- -1;
+      fire_timer vm
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let step vm =
+  let m = vm.m in
+  let instr = vm.code.instrs.(vm.pc) in
+  vm.pc <- vm.pc + 1;
+  let stats = m.Control.stats in
+  stats.Stats.instrs <- stats.Stats.instrs + 1;
+  match instr with
+  | Const v -> vm.acc <- v
+  | Local_ref i -> vm.acc <- m.Control.sr.seg.(m.Control.fp + i)
+  | Local_set i -> m.Control.sr.seg.(m.Control.fp + i) <- vm.acc
+  | Box_init i ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      seg.(fp + i) <- Box (ref seg.(fp + i));
+      stats.Stats.boxes_made <- stats.Stats.boxes_made + 1
+  | Box_ref i -> (
+      match m.Control.sr.seg.(m.Control.fp + i) with
+      | Box r -> vm.acc <- !r
+      | v -> Values.err "vm: box-ref of non-box" [ v ])
+  | Box_set i -> (
+      match m.Control.sr.seg.(m.Control.fp + i) with
+      | Box r -> r := vm.acc
+      | v -> Values.err "vm: box-set of non-box" [ v ])
+  | Free_ref i -> (
+      match m.Control.sr.seg.(m.Control.fp + 1) with
+      | Closure c -> vm.acc <- c.frees.(i)
+      | v -> Values.err "vm: free-ref outside closure" [ v ])
+  | Free_box_ref i -> (
+      match m.Control.sr.seg.(m.Control.fp + 1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r -> vm.acc <- !r
+          | v -> Values.err "vm: free-box-ref of non-box" [ v ])
+      | v -> Values.err "vm: free-box-ref outside closure" [ v ])
+  | Free_box_set i -> (
+      match m.Control.sr.seg.(m.Control.fp + 1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r -> r := vm.acc
+          | v -> Values.err "vm: free-box-set of non-box" [ v ])
+      | v -> Values.err "vm: free-box-set outside closure" [ v ])
+  | Global_ref g ->
+      if not g.gdefined then
+        Values.err ("unbound variable: " ^ g.gname) [];
+      vm.acc <- g.gval
+  | Global_set g ->
+      if not g.gdefined then
+        Values.err ("set! of unbound variable: " ^ g.gname) [];
+      g.gval <- vm.acc
+  | Global_define g ->
+      g.gval <- vm.acc;
+      g.gdefined <- true
+  | Make_closure (code, caps) ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      let frees =
+        Array.map
+          (function
+            | Cap_local i -> seg.(fp + i)
+            | Cap_free i -> (
+                match seg.(fp + 1) with
+                | Closure c -> c.frees.(i)
+                | v -> Values.err "vm: capture outside closure" [ v ]))
+          caps
+      in
+      stats.Stats.closures_made <- stats.Stats.closures_made + 1;
+      vm.acc <- Closure { code; frees }
+  | Branch pc -> vm.pc <- pc
+  | Branch_false pc -> if not (Values.is_truthy vm.acc) then vm.pc <- pc
+  | Call { disp; nargs } ->
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      let nfp = fp + disp in
+      seg.(nfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp };
+      stats.Stats.frames <- stats.Stats.frames + 1;
+      apply vm seg.(nfp + 1) nfp nargs
+  | Tail_call { disp; nargs } ->
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      let src = fp + disp in
+      let f = seg.(src + 1) in
+      seg.(fp + 1) <- f;
+      Array.blit seg (src + 2) seg (fp + 2) nargs;
+      apply vm f fp nargs
+  | Return -> do_return vm
+  | Enter -> enter vm
+  | Halt -> vm.halted <- true
+
+(* Runtime errors unwind to Scheme when a handler is installed: the VM
+   pops the head of the %error-handlers list and calls it with the
+   message and irritants at the point of the error (handlers normally
+   escape through a continuation; if one returns, its value becomes the
+   value of the faulting operation). *)
+let pop_error_handler vm =
+  match Globals.lookup_opt vm.globals "%error-handlers" with
+  | Some (Pair p) ->
+      let h = p.car in
+      Globals.define vm.globals "%error-handlers" p.cdr;
+      Some h
+  | _ -> None
+
+let inject_error_handler vm handler msg irritants =
+  let m = vm.m in
+  let fw = vm.code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 6);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  seg.(fp + fw) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  seg.(fp + fw + 1) <- handler;
+  seg.(fp + fw + 2) <- Str (Bytes.of_string msg);
+  seg.(fp + fw + 3) <- Values.list_to_value irritants;
+  apply vm handler (fp + fw) 2
+
+let step_catching vm =
+  try step vm
+  with Scheme_error (msg, irritants) as exn -> (
+    match pop_error_handler vm with
+    | Some h -> inject_error_handler vm h msg irritants
+    | None -> raise exn)
+
+let run ?(fuel = -1) vm code =
+  let m = vm.m in
+  Control.init_frame m (Retaddr { rcode = halt_code; rpc = 0; rdisp = 0 });
+  m.Control.sr.seg.(m.Control.fp + 1) <- Closure { code; frees = [||] };
+  vm.code <- code;
+  vm.pc <- 0;
+  vm.nargs <- 0;
+  vm.acc <- Void;
+  vm.halted <- false;
+  vm.fuel <- fuel;
+  if fuel < 0 then
+    while not vm.halted do
+      step_catching vm
+    done
+  else begin
+    let n = ref fuel in
+    while not vm.halted do
+      if !n <= 0 then raise Vm_fuel_exhausted;
+      decr n;
+      step_catching vm
+    done
+  end;
+  vm.acc
+
+let run_program ?fuel vm codes =
+  List.fold_left (fun _ code -> run ?fuel vm code) Void codes
+
+let eval ?fuel ?optimize vm src =
+  run_program ?fuel vm
+    (Compiler.compile_string ?optimize ~menv:vm.menv vm.globals src)

@@ -1,0 +1,50 @@
+(** The stack virtual machine: a direct-style bytecode interpreter whose
+    control stack is the paper's segmented stack ({!Control}).
+
+    Continuation capture ([%call/cc], [%call/1cc]) seals or encapsulates
+    stack segments without copying; multi-shot invocation copies (with
+    splitting); one-shot invocation swaps segments; overflow at procedure
+    entry is an implicit capture under the configured policy; returning
+    through a segment's bottom frame underflows into the record below.
+
+    The VM also provides the timer interrupt used to build engines and
+    preemptive thread schedulers: [(%set-timer! n handler)] arranges for
+    [handler] to be called, as if inserted at the interrupt point, after
+    [n] further procedure entries. *)
+
+type t = {
+  m : Control.t;
+  globals : Globals.t;
+  menv : Macro.menv;  (** session [define-syntax] macros *)
+  out : Buffer.t;  (** sink for [display]/[write]/[newline] *)
+  mutable acc : Rt.value;
+  mutable code : Rt.code;
+  mutable pc : int;
+  mutable nargs : int;
+  mutable timer : int;
+  mutable timer_handler : Rt.value;
+  mutable halted : bool;
+  mutable fuel : int;  (** negative = unlimited *)
+}
+
+exception Vm_fuel_exhausted
+
+val create : ?config:Control.config -> ?stats:Stats.t -> unit -> t
+(** A machine with primitives installed in a fresh global table. *)
+
+val stats : t -> Stats.t
+
+val run : ?fuel:int -> t -> Rt.code -> Rt.value
+(** Execute a zero-argument code object to completion and return the value
+    it halts with.  @raise Rt.Scheme_error on Scheme-level errors,
+    @raise Rt.Shot_continuation when a one-shot continuation is reused,
+    @raise Vm_fuel_exhausted when [fuel] instructions are exceeded. *)
+
+val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
+(** Run a compiled program form by form; the last form's value. *)
+
+val eval : ?fuel:int -> ?optimize:bool -> t -> string -> Rt.value
+(** Read, expand, compile, and run source text. *)
+
+val output : t -> string
+(** Text emitted by [display]/[write]/[newline] so far. *)

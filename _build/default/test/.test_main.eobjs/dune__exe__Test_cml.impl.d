@@ -1,0 +1,1 @@
+test/test_cml.ml: Alcotest Control Scheme Stats Tutil

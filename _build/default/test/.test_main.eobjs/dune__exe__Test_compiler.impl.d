@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Bytecode Compiler Control Expander Globals List Optimize Printf Rt Scheme String Tutil

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Bytecode Control List Rt Stats Tutil

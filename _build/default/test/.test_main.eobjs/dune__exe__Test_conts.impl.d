@@ -1,0 +1,1 @@
+test/test_conts.ml: Alcotest Control List Printf Programs Rt Scheme Stats Tutil

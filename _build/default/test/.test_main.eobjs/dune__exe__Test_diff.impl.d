@@ -1,0 +1,1 @@
+test/test_diff.ml: Control Gen Lazy List Printf QCheck QCheck_alcotest Random Rt Scheme Tutil

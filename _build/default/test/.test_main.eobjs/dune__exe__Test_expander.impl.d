@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Ast Expander List String Tutil

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest List Rt Tutil Values

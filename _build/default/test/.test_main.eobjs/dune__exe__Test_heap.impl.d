@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Heapvm Prelude Stats Tutil Values

@@ -1,0 +1,1 @@
+test/test_macros.ml: Alcotest Expander List Macro Rt Scheme Tutil

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cml Test_compiler Test_control Test_conts Test_diff Test_expander Test_features Test_heap Test_lang Test_macros Test_sexp Test_threads

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Control Printf Rt Scheme Stats Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Control Rt Scheme String

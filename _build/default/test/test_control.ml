@@ -1,0 +1,261 @@
+(* Direct unit tests of the control substrate: stack records, walking,
+   capture/reinstate mechanics, the segment cache, splitting, overflow
+   policies — driven at the OCaml level with hand-built frames. *)
+
+let case = Tutil.case
+
+let dummy_code = Bytecode.make_code ~name:"t" ~arity:(Rt.Exactly 0) ~frame_words:4 [| Rt.Halt |]
+let retaddr ~disp = Rt.Retaddr { rcode = dummy_code; rpc = 0; rdisp = disp }
+
+let small_config =
+  {
+    Control.default_config with
+    Control.seg_words = 256;
+    copy_bound = 32;
+    hysteresis_words = 16;
+  }
+
+(* Build a machine with [n] synthetic frames of [fsize] words each pushed
+   above the bottom frame. *)
+let machine_with_frames ?(config = small_config) ?stats n fsize =
+  let m = Control.create ?stats config in
+  Control.init_frame m (retaddr ~disp:0);
+  for _ = 1 to n do
+    let fp = m.Control.fp in
+    m.Control.sr.Rt.seg.(fp + fsize) <- retaddr ~disp:fsize;
+    m.Control.fp <- fp + fsize
+  done;
+  m
+
+let suite =
+  [
+    case "fresh machine has one segment, one frame" (fun () ->
+        let m = Control.create small_config in
+        Control.init_frame m (retaddr ~disp:0);
+        Alcotest.(check int) "fp" 0 m.Control.fp;
+        Alcotest.(check int) "depth" 0 (Control.chain_depth m);
+        Alcotest.(check int) "live words" 256 (Control.segment_words_live m));
+    case "walk_frames recovers frame chain" (fun () ->
+        let m = machine_with_frames 5 8 in
+        let frames =
+          Control.walk_frames m.Control.sr.Rt.seg ~base:0 ~top:m.Control.fp
+        in
+        Alcotest.(check (list int)) "frames" [ 40; 32; 24; 16; 8; 0 ] frames);
+    case "room and seg_limit" (fun () ->
+        let m = machine_with_frames 5 8 in
+        Alcotest.(check bool) "has room" true (Control.room m 100);
+        Alcotest.(check bool) "not unlimited" false (Control.room m 1000));
+    case "capture_multi seals without copying" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 5 8 in
+        let k = Control.capture_multi m in
+        Alcotest.(check int) "sealed size" 40 k.Rt.size;
+        Alcotest.(check int) "current = size" k.Rt.size k.Rt.current;
+        Alcotest.(check bool) "multi" true (Control.is_multi k);
+        Alcotest.(check int) "no copy" 0 stats.Stats.words_copied;
+        (* the active record re-based at the old frame pointer *)
+        Alcotest.(check int) "rebased" 40 m.Control.sr.Rt.base;
+        Alcotest.(check int) "chain depth" 1 (Control.chain_depth m);
+        (* displaced return slot *)
+        Alcotest.(check bool) "underflow mark" true
+          (m.Control.sr.Rt.seg.(m.Control.fp) = Rt.Underflow_mark));
+    case "capture_oneshot encapsulates whole segment" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 5 8 in
+        let old_seg = m.Control.sr.Rt.seg in
+        let k = Control.capture_oneshot m in
+        Alcotest.(check bool) "one-shot" false (Control.is_multi k);
+        Alcotest.(check int) "whole segment" 256 k.Rt.size;
+        Alcotest.(check int) "occupied" 40 k.Rt.current;
+        Alcotest.(check bool) "fresh segment" true
+          (m.Control.sr.Rt.seg != old_seg);
+        Alcotest.(check int) "fp reset" 0 m.Control.fp);
+    case "reinstate one-shot adopts the segment and marks shot" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 5 8 in
+        let old_seg = m.Control.sr.Rt.seg in
+        let k = Control.capture_oneshot m in
+        let fresh_seg = m.Control.sr.Rt.seg in
+        let r = Control.reinstate m k in
+        Alcotest.(check int) "resume disp" 8 r.Rt.rdisp;
+        Alcotest.(check bool) "adopted" true (m.Control.sr.Rt.seg == old_seg);
+        Alcotest.(check int) "fp at caller frame" 32 m.Control.fp;
+        Alcotest.(check int) "no copying" 0 stats.Stats.words_copied;
+        Alcotest.(check bool) "shot" true (Control.is_shot k);
+        (* the abandoned fresh segment went back to the cache *)
+        Alcotest.(check bool) "recycled" true
+          (List.exists (fun s -> s == fresh_seg) m.Control.cache));
+    case "reinstating a shot record raises" (fun () ->
+        let m = machine_with_frames 5 8 in
+        let k = Control.capture_oneshot m in
+        ignore (Control.reinstate m k);
+        Alcotest.check_raises "shot" Rt.Shot_continuation (fun () ->
+            ignore (Control.reinstate m k)));
+    case "reinstate multi copies the saved words" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 3 8 in
+        let k = Control.capture_multi m in
+        ignore (Control.reinstate m k);
+        Alcotest.(check int) "copied" 24 stats.Stats.words_copied;
+        Alcotest.(check bool) "still invocable" true
+          (not (Control.is_shot k));
+        ignore (Control.reinstate m k);
+        Alcotest.(check int) "copied again" 48 stats.Stats.words_copied);
+    case "reinstate multi splits beyond the copy bound" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 10 8 in
+        (* 80 words sealed, copy bound 32 *)
+        let k = Control.capture_multi m in
+        ignore (Control.reinstate m k);
+        Alcotest.(check bool) "split happened" true (stats.Stats.splits > 0);
+        Alcotest.(check bool) "bounded copy" true
+          (stats.Stats.words_copied <= 32));
+    case "split preserves total content" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 10 8 in
+        let k = Control.capture_multi m in
+        ignore (Control.reinstate m k);
+        (* the copied portion plus the content still sealed in the split
+           remainder must cover the original 80 words *)
+        let sealed = List.tl (Control.live_chain m.Control.sr) in
+        let sealed_words =
+          List.fold_left (fun a r -> a + r.Rt.current) 0 sealed
+        in
+        Alcotest.(check int) "copied + sealed" 80
+          (stats.Stats.words_copied + sealed_words));
+    case "promotion turns one-shot into multi" (fun () ->
+        let m = machine_with_frames 3 8 in
+        let k1 = Control.capture_oneshot m in
+        Alcotest.(check bool) "one-shot" false (Control.is_multi k1);
+        (* push a frame on the fresh segment, then capture multi above *)
+        let fp = m.Control.fp in
+        m.Control.sr.Rt.seg.(fp + 6) <- retaddr ~disp:6;
+        m.Control.fp <- fp + 6;
+        let k2 = Control.capture_multi m in
+        Alcotest.(check bool) "k2 multi" true (Control.is_multi k2);
+        Alcotest.(check bool) "k1 promoted" true (Control.is_multi k1);
+        (* promoted: size clamped to occupied under eager promotion *)
+        Alcotest.(check int) "forfeited free space" k1.Rt.current k1.Rt.size);
+    case "shared-flag promotion promotes the whole group at once" (fun () ->
+        let config = { small_config with Control.promotion = Control.Shared_flag } in
+        let stats = Stats.create () in
+        let m = machine_with_frames ~config ~stats 3 8 in
+        let k1 = Control.capture_oneshot m in
+        let fp = m.Control.fp in
+        m.Control.sr.Rt.seg.(fp + 6) <- retaddr ~disp:6;
+        m.Control.fp <- fp + 6;
+        let k2 = Control.capture_oneshot m in
+        (* k1 and k2 share the flag *)
+        Alcotest.(check bool) "shared ref" true (k1.Rt.promoted == k2.Rt.promoted);
+        let fp = m.Control.fp in
+        m.Control.sr.Rt.seg.(fp + 6) <- retaddr ~disp:6;
+        m.Control.fp <- fp + 6;
+        ignore (Control.capture_multi m);
+        Alcotest.(check bool) "k1 promoted" true (Control.is_multi k1);
+        Alcotest.(check bool) "k2 promoted" true (Control.is_multi k2);
+        (* one store promoted the group *)
+        Alcotest.(check int) "single promotion event" 1 stats.Stats.promotions);
+    case "seal displacement keeps the same segment" (fun () ->
+        let config =
+          { small_config with Control.oneshot_seal = Control.Seal_displacement 16 }
+        in
+        let m = machine_with_frames ~config 3 8 in
+        let old_seg = m.Control.sr.Rt.seg in
+        let k = Control.capture_oneshot m in
+        Alcotest.(check bool) "same array" true (m.Control.sr.Rt.seg == old_seg);
+        Alcotest.(check int) "sealed occupied+headroom" (24 + 16) k.Rt.size;
+        Alcotest.(check int) "occupied" 24 k.Rt.current;
+        Alcotest.(check bool) "one-shot" false (Control.is_multi k);
+        (* live words bounded: seal displacement caps fragmentation *)
+        Alcotest.(check int) "live" 256 (Control.segment_words_live m));
+    case "ensure_room triggers one-shot overflow with hysteresis" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 20 8 in
+        (* 160/256 used; demand far more than remains *)
+        Control.ensure_room m ~live_top:(m.Control.fp + 4) ~need:200;
+        Alcotest.(check int) "overflow" 1 stats.Stats.overflows;
+        Alcotest.(check int) "oneshot capture" 1 stats.Stats.captures_oneshot;
+        Alcotest.(check bool) "hysteresis copied some frames" true
+          (stats.Stats.words_copied >= 16);
+        Alcotest.(check bool) "room now" true (Control.room m 200);
+        (* the record chain grew *)
+        Alcotest.(check int) "depth" 1 (Control.chain_depth m));
+    case "ensure_room under call/cc policy seals a multi record" (fun () ->
+        let config =
+          { small_config with Control.overflow_policy = Control.As_callcc }
+        in
+        let stats = Stats.create () in
+        let m = machine_with_frames ~config ~stats 20 8 in
+        Control.ensure_room m ~live_top:(m.Control.fp + 4) ~need:200;
+        Alcotest.(check int) "multi capture" 1 stats.Stats.captures_multi;
+        let chain = Control.live_chain m.Control.sr in
+        (match chain with
+        | _active :: sealed :: _ ->
+            Alcotest.(check bool) "sealed is multi" true (Control.is_multi sealed)
+        | _ -> Alcotest.fail "expected a sealed record");
+        Alcotest.(check bool) "room now" true (Control.room m 200));
+    case "underflow consumes the overflow record and returns" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 20 8 in
+        Control.ensure_room m ~live_top:(m.Control.fp + 4) ~need:200;
+        (* walk fp back to the new segment's bottom, then underflow *)
+        m.Control.fp <- m.Control.sr.Rt.base;
+        (match Control.underflow m with
+        | Some r -> Alcotest.(check int) "resume disp" 8 r.Rt.rdisp
+        | None -> Alcotest.fail "expected a resume point");
+        Alcotest.(check int) "underflows" 1 stats.Stats.underflows);
+    case "underflow off the bottom reports halt" (fun () ->
+        let m = Control.create small_config in
+        Control.init_frame m (retaddr ~disp:0);
+        Alcotest.(check bool) "halt" true (Control.underflow m = None));
+    case "segment cache caps retained segments" (fun () ->
+        let config = { small_config with Control.cache_max = 2 } in
+        let m = Control.create config in
+        Control.init_frame m (retaddr ~disp:0);
+        (* capture/reinstate repeatedly: each reinstate releases the fresh
+           segment; the cache must not exceed its bound *)
+        for _ = 1 to 5 do
+          let fp = m.Control.fp in
+          m.Control.sr.Rt.seg.(fp + 8) <- retaddr ~disp:8;
+          m.Control.fp <- fp + 8;
+          let k = Control.capture_oneshot m in
+          ignore (Control.reinstate m k)
+        done;
+        Alcotest.(check bool) "bounded" true (m.Control.cache_len <= 2));
+    case "cache disabled allocates every time" (fun () ->
+        let config = { small_config with Control.cache_enabled = false } in
+        let stats = Stats.create () in
+        let m = Control.create ~stats config in
+        Control.init_frame m (retaddr ~disp:0);
+        let before = stats.Stats.seg_allocs in
+        for _ = 1 to 4 do
+          let fp = m.Control.fp in
+          m.Control.sr.Rt.seg.(fp + 8) <- retaddr ~disp:8;
+          m.Control.fp <- fp + 8;
+          let k = Control.capture_oneshot m in
+          ignore (Control.reinstate m k)
+        done;
+        Alcotest.(check int) "four fresh allocations" 4
+          (stats.Stats.seg_allocs - before);
+        Alcotest.(check int) "no hits" 0 stats.Stats.cache_hits);
+    case "clear_cache empties the cache" (fun () ->
+        let m = machine_with_frames 3 8 in
+        let k = Control.capture_oneshot m in
+        ignore (Control.reinstate m k);
+        Alcotest.(check bool) "cached" true (m.Control.cache_len > 0);
+        Control.clear_cache m;
+        Alcotest.(check int) "empty" 0 m.Control.cache_len);
+    case "multi-shot record invariants hold along a chain" (fun () ->
+        let m = machine_with_frames 4 8 in
+        let _k1 = Control.capture_multi m in
+        let fp = m.Control.fp in
+        m.Control.sr.Rt.seg.(fp + 6) <- retaddr ~disp:6;
+        m.Control.fp <- fp + 6;
+        let _k2 = Control.capture_multi m in
+        List.iter
+          (fun r ->
+            if not (Control.is_shot r) then
+              Alcotest.(check bool) "current <= size" true
+                (r.Rt.current <= r.Rt.size || r == m.Control.sr))
+          (Control.live_chain m.Control.sr));
+  ]

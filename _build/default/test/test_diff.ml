@@ -1,0 +1,277 @@
+(* Differential testing: random core-Scheme programs must produce the same
+   value on the CPS oracle, the heap VM, and the stack VM under several
+   control configurations (tiny segments force the overflow/underflow and
+   splitting machinery; the call/cc overflow policy and shared-flag
+   promotion are exercised too).
+
+   The generator produces closed, terminating programs: recursion only
+   through upward continuation escapes, mutation only of number-valued
+   variables.  Programs whose stack-VM run raises are compared on the
+   error class only (the oracle's promotion over-approximation may let a
+   shot-continuation error pass there; see oracle.mli).
+
+   The generator is written in direct style over [Random.State] — building
+   it from QCheck's eager combinators would construct the whole
+   exponential branch tree before sampling. *)
+
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "%s%d" prefix !fresh_counter
+
+let choose st xs = List.nth xs (Random.State.int st (List.length xs))
+let pick_var st env = choose st env
+
+let rec gen_int st env depth =
+  if depth = 0 then gen_int_leaf st env
+  else
+    match Random.State.int st 12 with
+    | 0 | 1 -> gen_int_leaf st env
+    | 2 | 3 ->
+        let op = choose st [ "+"; "-"; "*" ] in
+        let a = gen_int st env (depth - 1) in
+        let b = gen_int st env (depth - 1) in
+        Printf.sprintf "(%s %s %s)" op a b
+    | 4 ->
+        let t = gen_bool st env (depth - 1) in
+        let a = gen_int st env (depth - 1) in
+        let b = gen_int st env (depth - 1) in
+        Printf.sprintf "(if %s %s %s)" t a b
+    | 5 ->
+        let x = fresh "v" in
+        let init = gen_int st env (depth - 1) in
+        let body = gen_int st (x :: env) (depth - 1) in
+        Printf.sprintf "(let ((%s %s)) %s)" x init body
+    | 6 ->
+        let x = fresh "p" in
+        let body = gen_int st (x :: env) (depth - 1) in
+        let arg = gen_int st env (depth - 1) in
+        Printf.sprintf "((lambda (%s) %s) %s)" x body arg
+    | 7 -> (
+        match env with
+        | [] -> gen_int_leaf st env
+        | _ ->
+            let x = pick_var st env in
+            let e = gen_int st env (depth - 1) in
+            let body = gen_int st env (depth - 1) in
+            Printf.sprintf "(begin (set! %s %s) %s)" x e body)
+    | 8 ->
+        let k = fresh "k" in
+        Printf.sprintf "(call/cc (lambda (%s) %s))" k
+          (gen_escape_body st k env (depth - 1))
+    | 9 ->
+        let k = fresh "j" in
+        Printf.sprintf "(call/1cc (lambda (%s) %s))" k
+          (gen_escape_body st k env (depth - 1))
+    | 10 ->
+        let a = gen_int st env (depth - 1) in
+        let b = gen_int st env (depth - 1) in
+        if Random.State.bool st then Printf.sprintf "(car (cons %s %s))" a b
+        else Printf.sprintf "(cdr (cons %s %s))" b a
+    | _ ->
+        Printf.sprintf "(+ 1 (+ 1 (+ 1 (+ 1 %s))))"
+          (gen_int st env (depth - 1))
+
+and gen_int_leaf st env =
+  match env with
+  | [] -> string_of_int (Random.State.int st 41 - 20)
+  | _ ->
+      if Random.State.int st 3 = 0 then pick_var st env
+      else string_of_int (Random.State.int st 41 - 20)
+
+and gen_escape_body st k env depth =
+  match Random.State.int st 4 with
+  | 0 -> gen_int st env depth
+  | 1 | 2 -> Printf.sprintf "(+ 1 (%s %s))" k (gen_int st env depth)
+  | _ ->
+      let t = gen_bool st env depth in
+      let v = gen_int st env depth in
+      let other = gen_int st env depth in
+      Printf.sprintf "(if %s (%s %s) %s)" t k v other
+
+and gen_bool st env depth =
+  if depth = 0 then choose st [ "#t"; "#f" ]
+  else
+    match Random.State.int st 4 with
+    | 0 -> choose st [ "#t"; "#f" ]
+    | 1 | 2 ->
+        let op = choose st [ "<"; "="; ">"; "<="; ">=" ] in
+        let a = gen_int st env (depth - 1) in
+        let b = gen_int st env (depth - 1) in
+        Printf.sprintf "(%s %s %s)" op a b
+    | _ -> Printf.sprintf "(not %s)" (gen_bool st env (depth - 1))
+
+let gen_program st =
+  let depth = 2 + Random.State.int st 5 in
+  gen_int st [] depth
+
+type outcome = Value of string | Error_scheme | Error_shot
+
+let run_on session src =
+  match Scheme.eval_string ~fuel:3_000_000 session src with
+  | v -> Value v
+  | exception Rt.Scheme_error _ -> Error_scheme
+  | exception Rt.Shot_continuation -> Error_shot
+
+let sessions =
+  lazy
+    (let mk backend = Scheme.create ~backend () in
+     [
+       ("oracle", mk Scheme.Oracle);
+       ("heap", mk Scheme.Heap);
+       ("stack", mk (Scheme.Stack Control.default_config));
+       ("stack-tiny", mk (Scheme.Stack Tutil.tiny_config));
+       ("stack-tiny-cc", mk (Scheme.Stack Tutil.tiny_callcc_config));
+       ( "stack-flag",
+         mk
+           (Scheme.Stack
+              {
+                Control.default_config with
+                Control.promotion = Control.Shared_flag;
+              }) );
+       ( "stack-seal",
+         mk
+           (Scheme.Stack
+              {
+                Tutil.tiny_config with
+                Control.oneshot_seal = Control.Seal_displacement 48;
+              }) );
+       ( "stack-optimized",
+         Scheme.create ~backend:(Scheme.Stack Control.default_config)
+           ~optimize:true () );
+       ( "stack-copy-capture",
+         mk
+           (Scheme.Stack
+              {
+                Tutil.tiny_config with
+                Control.capture = Control.Copy_on_capture;
+              }) );
+     ])
+
+let outcome_to_string = function
+  | Value v -> "value " ^ v
+  | Error_scheme -> "<scheme error>"
+  | Error_shot -> "<shot continuation>"
+
+let diff_prop =
+  QCheck.Test.make ~name:"all backends agree on random programs" ~count:300
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+      let results =
+        List.map (fun (name, s) -> (name, run_on s src)) (Lazy.force sessions)
+      in
+      match List.assoc "stack" results with
+      | Error_shot | Error_scheme ->
+          (* Error classes are checked by targeted unit tests; the oracle
+             deliberately over-promotes. *)
+          true
+      | Value expected ->
+          List.for_all
+            (fun (name, r) ->
+              match r with
+              | Value v when v = expected -> true
+              | r ->
+                  QCheck.Test.fail_reportf
+                    "backend %s disagrees on %s:\n  stack: %s\n  %s: %s" name
+                    src expected name (outcome_to_string r))
+            results)
+
+(* A second property: programs built around deep non-tail recursion give
+   identical results across segment sizes (stressing overflow, underflow,
+   hysteresis and splitting with varied geometry). *)
+let depth_prop =
+  QCheck.Test.make ~name:"deep recursion agrees across segment geometries"
+    ~count:20
+    QCheck.(make ~print:string_of_int (Gen.int_range 100 2000))
+    (fun n ->
+      let src =
+        Printf.sprintf
+          "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum %d)" n
+      in
+      let expected = string_of_int (n * (n + 1) / 2) in
+      List.for_all
+        (fun seg ->
+          let config =
+            { Control.default_config with Control.seg_words = seg }
+          in
+          Tutil.eval_stack ~config src = expected
+          &&
+          let config =
+            { config with Control.overflow_policy = Control.As_callcc }
+          in
+          Tutil.eval_stack ~config src = expected)
+        [ 128; 256; 1024 ])
+
+(* Continuation-heavy torture: ctak on all stack configurations. *)
+let ctak_prop =
+  QCheck.Test.make ~name:"ctak agrees across configurations and operators"
+    ~count:8
+    QCheck.(
+      make
+        ~print:(fun (x, y, z) -> Printf.sprintf "(%d,%d,%d)" x y z)
+        Gen.(triple (int_range 4 9) (int_range 2 6) (int_range 0 3)))
+    (fun (x, y, z) ->
+      let rec tak x y z =
+        if not (y < x) then z
+        else tak (tak (x - 1) y z) (tak (y - 1) z x) (tak (z - 1) x y)
+      in
+      let expected = string_of_int (tak x y z) in
+      let run op config =
+        Tutil.eval_stack ~config ~corpus:true
+          (Printf.sprintf "(set! ctak-capture %s) (ctak %d %d %d)" op x y z)
+      in
+      List.for_all
+        (fun op ->
+          List.for_all
+            (fun config -> run op config = expected)
+            [
+              Control.default_config;
+              Tutil.tiny_config;
+              Tutil.tiny_callcc_config;
+              { Control.default_config with Control.copy_bound = 16 };
+              Tutil.copy_capture_config;
+            ])
+        [ "%call/cc"; "%call/1cc"; "call/cc"; "call/1cc" ])
+
+(* Thread systems are deterministic under a per-call timer: the vector of
+   per-thread results must be identical across operators, configurations,
+   and switch frequencies. *)
+let thread_prop =
+  QCheck.Test.make ~name:"thread results agree across operators and configs"
+    ~count:10
+    QCheck.(
+      make
+        ~print:(fun (n, freq) -> Printf.sprintf "threads=%d freq=%d" n freq)
+        Gen.(pair (int_range 2 6) (int_range 1 64)))
+    (fun (nthreads, freq) ->
+      let src op =
+        Printf.sprintf
+          {|(let ((results (make-vector %d #f)))
+              (run-threads
+               (let loop ((i 0) (acc '()))
+                 (if (= i %d)
+                     acc
+                     (loop (+ i 1)
+                           (cons (lambda () (vector-set! results i (fib (+ 8 i))))
+                                 acc))))
+               %d %s)
+              results)|}
+          nthreads nthreads freq op
+      in
+      let expected = Tutil.eval_stack ~corpus:true (src "%call/1cc") in
+      List.for_all
+        (fun (op, config) ->
+          Tutil.eval_stack ~corpus:true ~config (src op) = expected)
+        [
+          ("%call/cc", Control.default_config);
+          ("%call/1cc", Tutil.tiny_config);
+          ("%call/cc", Tutil.tiny_callcc_config);
+          ("%call/1cc",
+           { Control.default_config with
+             Control.oneshot_seal = Control.Seal_displacement 128 });
+        ])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ diff_prop; depth_prop; ctak_prop; thread_prop ]

@@ -1,0 +1,91 @@
+(* Expander unit tests: derived forms lower to the expected core forms,
+   and malformed inputs are rejected. *)
+
+let case = Tutil.case
+
+let expand_to_string src =
+  match Expander.expand_string src with
+  | [ top ] -> Ast.top_to_string top
+  | tops -> String.concat " " (List.map Ast.top_to_string tops)
+
+let check name src expected =
+  case name (fun () ->
+      Alcotest.(check string) src expected (expand_to_string src))
+
+let check_error name src =
+  case name (fun () ->
+      match Expander.expand_string src with
+      | _ -> Alcotest.failf "expected expand error for %S" src
+      | exception Expander.Expand_error _ -> ())
+
+(* Behavioural checks: easier than matching the exact expansion text. *)
+let beh name src expected = Tutil.check_eval name src expected
+
+let suite =
+  [
+    check "variable" "x" "x";
+    check "self-evaluating int" "42" "'42";
+    check "quote" "'(1 2)" "'(1 2)";
+    check "if two-armed gets void" "(if a b)" "(if a b '#<void>)";
+    check "begin flattens singleton" "(begin x)" "x";
+    check "lambda" "(lambda (x) x)" "(lambda (x) x)";
+    check "lambda rest" "(lambda (x . r) r)" "(lambda (x . r) r)";
+    check "lambda all-rest" "(lambda r r)" "(lambda ( . r) r)";
+    check "define procedure shorthand" "(define (f x) x)"
+      "(define f (lambda (x) x))";
+    check "define curried body" "(define (f . a) a)"
+      "(define f (lambda ( . a) a))";
+    check "let becomes application" "(let ((x 1)) x)" "((lambda (x) x) '1)";
+    check "and empty" "(and)" "'#t";
+    check "or empty" "(or)" "'#f";
+    check "and chains" "(and a b)" "(if a b '#f)";
+    check "when" "(when t a)" "(if t a '#<void>)";
+    check "unless" "(unless t a)" "(if t '#<void> a)";
+    (* behavioural *)
+    beh "let*" "(let* ((x 1) (y (+ x 1))) (list x y))" "(1 2)";
+    beh "letrec mutual" "(letrec ((e? (lambda (n) (if (= n 0) #t (o? (- n 1))))) (o? (lambda (n) (if (= n 0) #f (e? (- n 1)))))) (list (e? 10) (o? 10)))"
+      "(#t #f)";
+    beh "letrec*" "(letrec* ((a 1) (b (lambda () a))) (b))" "1";
+    beh "named let" "(let f ((n 5)) (if (= n 0) 1 (* n (f (- n 1)))))" "120";
+    beh "internal define" "((lambda () (define x 2) (define (f) x) (f)))" "2";
+    beh "internal define after begin splice"
+      "((lambda () (begin (define x 3)) x))" "3";
+    beh "cond basic" "(cond (#f 1) (#t 2) (else 3))" "2";
+    beh "cond else" "(cond (#f 1) (else 3))" "3";
+    beh "cond arrow" "(cond ((memv 2 '(1 2 3)) => car) (else 'no))" "2";
+    beh "cond test-only clause" "(cond (#f) (42))" "42";
+    beh "cond empty" "(cond)" "#<void>";
+    beh "case basic" "(case (* 2 3) ((2 3 5 7) 'prime) ((1 4 6 8 9) 'composite))"
+      "composite";
+    beh "case else" "(case 99 ((1) 'one) (else 'other))" "other";
+    beh "do loop" "(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 5) s))" "10";
+    beh "do with body" "(let ((v (make-vector 3 0))) (do ((i 0 (+ i 1))) ((= i 3) v) (vector-set! v i i)))"
+      "#(0 1 2)";
+    beh "do step defaults to var" "(do ((i 0 (+ i 1)) (x 'kept)) ((= i 2) x))"
+      "kept";
+    beh "and returns last" "(and 1 2 3)" "3";
+    beh "and short-circuits" "(and #f (error 'boom \"no\"))" "#f";
+    beh "or returns first true" "(or #f 2 (error 'boom \"no\"))" "2";
+    beh "or evaluates once"
+      "(let ((n 0)) (or (begin (set! n (+ n 1)) n) #f) n)" "1";
+    beh "quasiquote plain" "`(1 2)" "(1 2)";
+    beh "quasiquote unquote" "`(1 ,(+ 1 1))" "(1 2)";
+    beh "quasiquote splice" "`(1 ,@(list 2 3) 4)" "(1 2 3 4)";
+    beh "quasiquote nested" "`(1 `(2 ,(+ 1 2)))" "(1 (quasiquote (2 (unquote (+ 1 2)))))";
+    beh "quasiquote double unquote" "`(1 `(2 ,,(+ 1 2)))"
+      "(1 (quasiquote (2 (unquote 3))))";
+    beh "quasiquote vector" "`#(1 ,(+ 1 1))" "#(1 2)";
+    beh "quasiquote dotted" "`(1 . ,(+ 1 1))" "(1 . 2)";
+    beh "quasiquote atom" "`x" "x";
+    check_error "if with no arms" "(if)";
+    check_error "lambda without body" "(lambda (x))";
+    check_error "lambda bad formals" "(lambda (1) 1)";
+    check_error "set! non-symbol" "(set! 1 2)";
+    check_error "let malformed binding" "(let ((x)) x)";
+    check_error "unquote outside quasiquote" ",x";
+    check_error "define in expression position" "(+ 1 (define x 2))";
+    check_error "cond else not last" "(cond (else 1) (#t 2))";
+    check_error "quote two datums" "(quote a b)";
+    check_error "empty application" "()";
+    check_error "body with only defines" "((lambda () (define x 1)))";
+  ]

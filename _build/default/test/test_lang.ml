@@ -1,0 +1,147 @@
+(* Language semantics, checked on every backend (stack VM with default and
+   tiny segments, stack VM with call/cc overflow policy, heap VM, oracle).
+   The tiny-segment configurations force the overflow/underflow machinery
+   on ordinary programs. *)
+
+let all = Tutil.check_all
+
+let suite =
+  List.concat
+    [
+      (* literals and basics *)
+      all "fixnum" "42" "42";
+      all "negative" "-7" "-7";
+      all "boolean" "#t" "#t";
+      all "character" "#\\a" "#\\a";
+      all "string literal" {|"hi\n"|} {|"hi\n"|};
+      all "empty list" "'()" "()";
+      all "symbol" "'foo" "foo";
+      all "vector literal" "'#(1 a)" "#(1 a)";
+      all "void" "(void)" "#<void>";
+      (* arithmetic *)
+      all "add many" "(+ 1 2 3 4)" "10";
+      all "add none" "(+)" "0";
+      all "subtract" "(- 10 3 2)" "5";
+      all "negate" "(- 5)" "-5";
+      all "multiply" "(* 2 3 4)" "24";
+      all "quotient" "(quotient 17 5)" "3";
+      all "remainder negative" "(remainder -7 2)" "-1";
+      all "modulo negative" "(modulo -7 2)" "1";
+      all "modulo negative divisor" "(modulo 7 -2)" "-1";
+      all "abs" "(abs -9)" "9";
+      all "min max" "(list (min 3 1 2) (max 3 1 2))" "(1 3)";
+      all "compare chain true" "(< 1 2 3)" "#t";
+      all "compare chain false" "(< 1 3 2)" "#f";
+      all "zero?" "(list (zero? 0) (zero? 1))" "(#t #f)";
+      all "even odd" "(list (even? 4) (odd? 4))" "(#t #f)";
+      (* predicates and equality *)
+      all "eq? symbols" "(eq? 'a 'a)" "#t";
+      all "eq? fresh pairs" "(eq? (cons 1 2) (cons 1 2))" "#f";
+      all "eq? same pair" "(let ((p (cons 1 2))) (eq? p p))" "#t";
+      all "eqv? numbers" "(eqv? 100000 100000)" "#t";
+      all "equal? lists" "(equal? '(1 (2 3)) '(1 (2 3)))" "#t";
+      all "equal? vectors" "(equal? #(1 2) #(1 2))" "#t";
+      all "equal? strings" {|(equal? "ab" "ab")|} "#t";
+      all "not" "(list (not #f) (not 0) (not '()))" "(#t #f #f)";
+      all "truthiness of zero" "(if 0 'yes 'no)" "yes";
+      all "truthiness of empty list" "(if '() 'yes 'no)" "yes";
+      (* pairs and lists *)
+      all "cons car cdr" "(car (cons 1 2))" "1";
+      all "set-car!" "(let ((p (cons 1 2))) (set-car! p 9) p)" "(9 . 2)";
+      all "set-cdr!" "(let ((p (cons 1 2))) (set-cdr! p '(3)) p)" "(1 3)";
+      all "list" "(list 1 2 3)" "(1 2 3)";
+      all "length" "(length '(a b c))" "3";
+      all "append" "(append '(1) '(2 3) '() '(4))" "(1 2 3 4)";
+      all "append improper last" "(append '(1) 2)" "(1 . 2)";
+      all "reverse" "(reverse '(1 2 3))" "(3 2 1)";
+      all "list-ref" "(list-ref '(a b c) 1)" "b";
+      all "list-tail" "(list-tail '(a b c d) 2)" "(c d)";
+      all "assq found" "(assq 'b '((a 1) (b 2)))" "(b 2)";
+      all "assq missing" "(assq 'z '((a 1)))" "#f";
+      all "assoc equal keys" "(assoc '(1) '(((1) . x)))" "((1) . x)";
+      all "memq" "(memq 'c '(a b c d))" "(c d)";
+      all "member" "(member '(1) '((1) (2)))" "((1) (2))";
+      (* strings, chars, symbols *)
+      all "string-length" {|(string-length "hello")|} "5";
+      all "string-append" {|(string-append "foo" "bar")|} {|"foobar"|};
+      all "string-ref" {|(string-ref "abc" 1)|} "#\\b";
+      all "substring" {|(substring "hello" 1 3)|} {|"el"|};
+      all "string->symbol" {|(string->symbol "hi")|} "hi";
+      all "symbol->string" "(symbol->string 'hi)" {|"hi"|};
+      all "string->number" {|(string->number "42")|} "42";
+      all "string->number bad" {|(string->number "4x")|} "#f";
+      all "number->string" "(number->string -3)" {|"-3"|};
+      all "char->integer" "(char->integer #\\A)" "65";
+      all "integer->char" "(integer->char 97)" "#\\a";
+      all "string mutation" {|(let ((s (string-copy "abc"))) (string-set! s 0 #\z) s)|}
+        {|"zbc"|};
+      all "string->list" {|(string->list "ab")|} "(#\\a #\\b)";
+      all "list->string" "(list->string '(#\\h #\\i))" {|"hi"|};
+      (* vectors *)
+      all "make-vector fill" "(make-vector 3 'x)" "#(x x x)";
+      all "vector-ref" "(vector-ref #(a b c) 2)" "c";
+      all "vector-set!" "(let ((v (make-vector 2 0))) (vector-set! v 1 'y) v)"
+        "#(0 y)";
+      all "vector-length" "(vector-length #(1 2 3))" "3";
+      all "vector->list" "(vector->list #(1 2))" "(1 2)";
+      all "list->vector" "(list->vector '(1 2))" "#(1 2)";
+      (* procedures and scoping *)
+      all "lambda identity" "((lambda (x) x) 'v)" "v";
+      all "closure captures" "(((lambda (x) (lambda (y) (list x y))) 1) 2)"
+        "(1 2)";
+      all "shadowing" "(let ((x 1)) (let ((x 2)) x))" "2";
+      all "outer shadowed var survives" "(let ((x 1)) (let ((x 2)) x) x)" "1";
+      all "rest args" "((lambda (a . r) (list a r)) 1 2 3)" "(1 (2 3))";
+      all "rest args empty" "((lambda (a . r) r) 1)" "()";
+      all "all-rest lambda" "((lambda r r) 1 2)" "(1 2)";
+      all "lexical not dynamic" "(let ((x 1)) (define (f) x) (let ((x 2)) (if #f x 0) (f)))" "1";
+      all "counter closure"
+        "(define (mk) (let ((n 0)) (lambda () (set! n (+ n 1)) n))) (define c (mk)) (c) (c) (list (c) ((mk)))"
+        "(3 1)";
+      all "set! returns and mutates"
+        "(let ((x 1)) (set! x 42) x)" "42";
+      all "higher order" "(define (twice f x) (f (f x))) (twice (lambda (n) (* n n)) 3)"
+        "81";
+      all "apply basic" "(apply + '(1 2 3))" "6";
+      all "apply mixed" "(apply list 1 2 '(3 4))" "(1 2 3 4)";
+      all "apply of closure" "(apply (lambda (a b) (- a b)) '(10 4))" "6";
+      all "procedure?" "(list (procedure? car) (procedure? (lambda () 1)) (procedure? 3))"
+        "(#t #t #f)";
+      (* recursion & iteration (exercise stack growth) *)
+      all "factorial" "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1))))) (fact 12)"
+        "479001600";
+      all "tail sum loops forever-safe"
+        "(let loop ((i 0) (acc 0)) (if (= i 10000) acc (loop (+ i 1) (+ acc i))))"
+        "49995000";
+      all "non-tail sum over segment boundaries"
+        "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 2000)" "2001000";
+      all "mutual recursion"
+        "(define (e? n) (if (= n 0) #t (o? (- n 1)))) (define (o? n) (if (= n 0) #f (e? (- n 1)))) (e? 3001)"
+        "#f";
+      all "ackermann" "(define (ack m n) (cond ((= m 0) (+ n 1)) ((= n 0) (ack (- m 1) 1)) (else (ack (- m 1) (ack m (- n 1)))))) (ack 2 3)"
+        "9";
+      (* multiple values *)
+      all "values single" "(values 7)" "7";
+      all "call-with-values" "(call-with-values (lambda () (values 1 2)) +)" "3";
+      all "call-with-values list" "(call-with-values (lambda () (values 1 2 3)) list)"
+        "(1 2 3)";
+      all "values zero" "(call-with-values (lambda () (values)) (lambda () 'none))"
+        "none";
+      all "values through define"
+        "(define (div-mod a b) (values (quotient a b) (remainder a b))) (call-with-values (lambda () (div-mod 17 5)) list)"
+        "(3 2)";
+      (* output *)
+      all "display returns void" "(display 1)" "#<void>";
+      (* prelude library *)
+      all "map one list" "(map (lambda (x) (* x x)) '(1 2 3))" "(1 4 9)";
+      all "map two lists" "(map + '(1 2) '(10 20))" "(11 22)";
+      all "for-each order"
+        "(let ((acc '())) (for-each (lambda (x) (set! acc (cons x acc))) '(1 2 3)) acc)"
+        "(3 2 1)";
+      all "filter" "(filter odd? '(1 2 3 4 5))" "(1 3 5)";
+      all "fold-left" "(fold-left - 0 '(1 2 3))" "-6";
+      all "fold-right" "(fold-right cons '() '(1 2))" "(1 2)";
+      all "iota" "(iota 4)" "(0 1 2 3)";
+      all "vector-map" "(vector-map 1+ #(1 2))" "#(2 3)";
+      all "last-pair" "(last-pair '(1 2 3))" "(3)";
+    ]

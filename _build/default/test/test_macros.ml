@@ -1,0 +1,148 @@
+(* define-syntax / syntax-rules tests. *)
+
+let all = Tutil.check_all
+let check = Tutil.check_eval
+let case = Tutil.case
+
+let suite =
+  List.concat
+    [
+      all "simple substitution"
+        {|(define-syntax double (syntax-rules () ((_ e) (* 2 e))))
+          (double 21)|}
+        "42";
+      all "multiple rules dispatch on shape"
+        {|(define-syntax my-or
+            (syntax-rules ()
+              ((_) #f)
+              ((_ e) e)
+              ((_ e r ...) (let ((t e)) (if t t (my-or r ...))))))
+          (list (my-or) (my-or 7) (my-or #f #f 3) (my-or #f #f))|}
+        "(#f 7 3 #f)";
+      all "swap! two variables"
+        {|(define-syntax swap!
+            (syntax-rules () ((_ a b) (let ((tmp a)) (set! a b) (set! b tmp)))))
+          (let ((x 1) (y 2)) (swap! x y) (list x y))|}
+        "(2 1)";
+      all "recursive macro"
+        {|(define-syntax my-let*
+            (syntax-rules ()
+              ((_ () body ...) (begin body ...))
+              ((_ ((x e) rest ...) body ...)
+               (let ((x e)) (my-let* (rest ...) body ...)))))
+          (my-let* ((a 1) (b (+ a 1)) (c (* b 2))) (list a b c))|}
+        "(1 2 4)";
+      all "literals must match"
+        {|(define-syntax for
+            (syntax-rules (in)
+              ((_ x in lst body ...) (for-each (lambda (x) body ...) lst))))
+          (let ((seen '()))
+            (for v in '(a b c) (set! seen (cons v seen)))
+            (reverse seen))|}
+        "(a b c)";
+      all "ellipsis over pairs"
+        {|(define-syntax alist
+            (syntax-rules () ((_ (k v) ...) (list (cons 'k v) ...))))
+          (alist (a 1) (b 2) (c 3))|}
+        "((a . 1) (b . 2) (c . 3))";
+      all "ellipsis with empty repetition"
+        {|(define-syntax count-args
+            (syntax-rules () ((_ e ...) (length (list 'e ...)))))
+          (list (count-args) (count-args x) (count-args x y z))|}
+        "(0 1 3)";
+      all "ellipsis before fixed tail"
+        {|(define-syntax all-but-last
+            (syntax-rules () ((_ e ... last) (list e ...))))
+          (all-but-last 1 2 3 4)|}
+        "(1 2 3)";
+      all "nested ellipses"
+        {|(define-syntax flatten2
+            (syntax-rules () ((_ (a ...) ...) (append (list a ...) ...))))
+          (flatten2 (1 2) () (3 4 5))|}
+        "(1 2 3 4 5)";
+      all "macro expanding to definitions"
+        {|(define-syntax defconsts
+            (syntax-rules () ((_ (name val) ...) (begin (define name val) ...))))
+          (defconsts (seven 7) (eight 8))
+          (+ seven eight)|}
+        "15";
+      all "wildcard pattern"
+        {|(define-syntax second-of
+            (syntax-rules () ((_ _ b) b)))
+          (second-of (error 'no "never evaluated") 42)|}
+        "42";
+      all "dotted pattern"
+        {|(define-syntax rest-of
+            (syntax-rules () ((_ a . r) 'r)))
+          (rest-of 1 2 3)|}
+        "(2 3)";
+      all "constant patterns"
+        {|(define-syntax classify
+            (syntax-rules ()
+              ((_ 0) 'zero)
+              ((_ 1) 'one)
+              ((_ n) 'many)))
+          (list (classify 0) (classify 1) (classify 5))|}
+        "(zero one many)";
+      all "macro used before other definitions"
+        {|(define-syntax inc! (syntax-rules () ((_ v) (set! v (+ v 1)))))
+          (define counter 0)
+          (inc! counter) (inc! counter)
+          counter|}
+        "2";
+      all "macros compose"
+        {|(define-syntax unless2 (syntax-rules () ((_ t e) (if t #f e))))
+          (define-syntax when2 (syntax-rules () ((_ t e) (unless2 (not t) e))))
+          (when2 #t 'yes)|}
+        "yes";
+      all "macro inside eval"
+        {|(eval '(begin
+                  (define-syntax twice (syntax-rules () ((_ e) (+ e e))))
+                  (twice 21)))|}
+        "42";
+      all "macros persist across eval in one session"
+        {|(define-syntax quadruple (syntax-rules () ((_ e) (* 4 e))))
+          (eval '(quadruple 10))|}
+        "40";
+    ]
+  @ [
+      check "core forms are not shadowed by macros"
+        {|(define-syntax if2 (syntax-rules () ((_ a b c) (if a b c))))
+          (if2 #t 'then 'else)|}
+        "then";
+      case "macro loops are detected" (fun () ->
+          match
+            Tutil.eval_stack
+              {|(define-syntax loopy (syntax-rules () ((_ x) (loopy x))))
+                (loopy 1)|}
+          with
+          | v -> Alcotest.failf "expected expansion error, got %s" v
+          | exception Expander.Expand_error _ -> ()
+          | exception Macro.Macro_error _ -> ());
+      case "no matching rule reports an error" (fun () ->
+          match
+            Tutil.eval_stack
+              {|(define-syntax one-arg (syntax-rules () ((_ x) x)))
+                (one-arg 1 2 3)|}
+          with
+          | v -> Alcotest.failf "expected macro error, got %s" v
+          | exception Macro.Macro_error _ -> ());
+      case "mismatched ellipsis lengths rejected" (fun () ->
+          match
+            Tutil.eval_stack
+              {|(define-syntax zip2
+                  (syntax-rules () ((_ (a ...) (b ...)) (list (cons a b) ...))))
+                (zip2 (1 2 3) (x y))|}
+          with
+          | v -> Alcotest.failf "expected macro error, got %s" v
+          | exception Macro.Macro_error _ -> ());
+      case "macros do not leak across sessions" (fun () ->
+          let s1 = Scheme.create () in
+          ignore
+            (Scheme.eval s1
+               "(define-syntax leaky (syntax-rules () ((_ e) (* 2 e))))");
+          let s2 = Scheme.create () in
+          match Scheme.eval_string s2 "(leaky 1)" with
+          | v -> Alcotest.failf "macro leaked: %s" v
+          | exception Rt.Scheme_error _ -> ());
+    ]

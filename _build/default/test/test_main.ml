@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "oneshot"
+    [
+      ("sexp", Test_sexp.suite);
+      ("expander", Test_expander.suite);
+      ("compiler", Test_compiler.suite);
+      ("control", Test_control.suite);
+      ("language", Test_lang.suite);
+      ("continuations", Test_conts.suite);
+      ("threads-engines", Test_threads.suite);
+      ("heap-vm", Test_heap.suite);
+      ("features", Test_features.suite);
+      ("cml", Test_cml.suite);
+      ("macros", Test_macros.suite);
+      ("differential", Test_diff.suite);
+    ]

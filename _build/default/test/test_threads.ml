@@ -1,0 +1,174 @@
+(* Thread systems and engines: the machinery behind Figure 5. *)
+
+let case = Tutil.case
+
+let run_stack ?(config = Control.default_config) src =
+  let stats = Stats.create () in
+  let s = Scheme.create ~backend:(Scheme.Stack config) ~stats () in
+  Scheme.load_corpus s;
+  let v = Scheme.eval_string ~fuel:Tutil.default_fuel s src in
+  (v, stats, s)
+
+let check_result name src expected =
+  case name (fun () ->
+      let v, _, _ = run_stack src in
+      Alcotest.(check string) src expected v)
+
+let fib_expected n =
+  let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+  fib n
+
+let suite =
+  [
+    (* timer basics *)
+    check_result "timer fires and handler runs"
+      {|(let ((hits 0))
+          (define (handler) (set! hits (+ hits 1)))
+          (%set-timer! 3 handler)
+          (fib 10)
+          (%set-timer! 0 handler)
+          (> hits 0))|}
+      "#t";
+    check_result "timer disabled does not fire"
+      {|(let ((hits 0))
+          (define (handler) (set! hits (+ hits 1)))
+          (%set-timer! 0 handler)
+          (fib 8)
+          hits)|}
+      "0";
+    check_result "get-timer reads remaining ticks"
+      {|(begin
+          (%set-timer! 1000 (lambda () 'never))
+          (fib 5)
+          (let ((left (%get-timer)))
+            (%set-timer! 0 (lambda () 'never))
+            (and (> left 0) (< left 1000))))|}
+      "#t";
+    (* scheduler: correctness of results under preemption *)
+    check_result "threads compute correct results"
+      {|(let ((results (make-vector 3 #f)))
+          (run-threads
+           (list (lambda () (vector-set! results 0 (fib 10)))
+                 (lambda () (vector-set! results 1 (tak 8 5 2)))
+                 (lambda () (vector-set! results 2 (ack 2 3))))
+           7 %call/1cc)
+          results)|}
+      (Printf.sprintf "#(%d 5 9)" (fib_expected 10));
+    check_result "threads with call/cc capture"
+      {|(let ((results (make-vector 2 #f)))
+          (run-threads
+           (list (lambda () (vector-set! results 0 (fib 9)))
+                 (lambda () (vector-set! results 1 (fib 8))))
+           3 %call/cc)
+          results)|}
+      (Printf.sprintf "#(%d %d)" (fib_expected 9) (fib_expected 8));
+    check_result "threads interleave"
+      {|(let ((trace '()))
+          (define (spin tag n)
+            (if (= n 0)
+                (set! trace (cons tag trace))
+                (begin (fib 5) (spin tag (- n 1)))))
+          (run-threads
+           (list (lambda () (spin 'a 4)) (lambda () (spin 'b 4)))
+           5 %call/1cc)
+          ;; both finished
+          (list (if (memq 'a trace) #t #f) (if (memq 'b trace) #t #f)
+                (length trace)))|}
+      "(#t #t 2)";
+    check_result "empty thread list" "(run-threads '() 4 %call/1cc)" "all-done";
+    check_result "single thread no preemption needed"
+      "(let ((r #f)) (run-threads (list (lambda () (set! r 'ran))) 1000000 %call/1cc) r)"
+      "ran";
+    check_result "run-fib-threads call/1cc" "(run-fib-threads 5 10 4 %call/1cc)"
+      "all-done";
+    check_result "run-fib-threads call/cc" "(run-fib-threads 5 10 4 %call/cc)"
+      "all-done";
+    check_result "run-fib-threads freq 1" "(run-fib-threads 3 8 1 %call/1cc)"
+      "all-done";
+    check_result "cps threads" "(run-cps-fib-threads 5 10 4)" "all-done";
+    check_result "cps threads freq 1" "(run-cps-fib-threads 3 8 1)" "all-done";
+    (* shape facts the paper relies on *)
+    case "one-shot threads copy nothing" (fun () ->
+        let _, st, _ = run_stack "(run-fib-threads 4 10 2 %call/1cc)" in
+        Alcotest.(check int) "words copied" 0 st.Stats.words_copied;
+        Alcotest.(check bool) "many one-shot switches" true
+          (st.Stats.invokes_oneshot > 50));
+    case "multi-shot threads copy per switch" (fun () ->
+        let _, st, _ = run_stack "(run-fib-threads 4 10 2 %call/cc)" in
+        Alcotest.(check bool) "copied" true (st.Stats.words_copied > 0);
+        Alcotest.(check bool) "many multi switches" true
+          (st.Stats.invokes_multi > 50));
+    case "one-shot threads hit the segment cache" (fun () ->
+        let _, st, _ = run_stack "(run-fib-threads 4 10 2 %call/1cc)" in
+        Alcotest.(check bool) "cache hits" true (st.Stats.cache_hits > 10));
+    case "cps threads capture no stack continuations" (fun () ->
+        let _, st, _ = run_stack "(run-cps-fib-threads 4 10 2)" in
+        (* one call/1cc for the exit continuation only *)
+        Alcotest.(check bool) "at most one capture" true
+          (st.Stats.captures_oneshot <= 1 && st.Stats.captures_multi = 0));
+    (* engines *)
+    check_result "engine completes"
+      "(engine-run-to-completion 1000000 (make-engine (lambda () (fib 10))))"
+      (string_of_int (fib_expected 10));
+    check_result "engine completes across many slices"
+      "(engine-run-to-completion 5 (make-engine (lambda () (fib 10))))"
+      (string_of_int (fib_expected 10));
+    check_result "engine single tick slices"
+      "(engine-run-to-completion 1 (make-engine (lambda () (fib 6))))"
+      (string_of_int (fib_expected 6));
+    check_result "engine expire hands over a runnable engine"
+      {|(let ((e ((make-engine (lambda () (fib 10))) 3
+                  (lambda (r v) 'finished-too-fast)
+                  (lambda (next) next))))
+          (if (procedure? e)
+              (engine-run-to-completion 50 e)
+              e))|}
+      (string_of_int (fib_expected 10));
+    check_result "engine complete receives remaining ticks"
+      {|((make-engine (lambda () 'quick)) 1000
+         (lambda (remaining v) (list v (> remaining 0)))
+         (lambda (next) 'expired))|}
+      "(quick #t)";
+    case "engine rejects non-positive ticks" (fun () ->
+        match
+          run_stack
+            "((make-engine (lambda () 1)) 0 (lambda (r v) v) (lambda (e) e))"
+        with
+        | v, _, _ -> Alcotest.failf "expected error, got %s" v
+        | exception Rt.Scheme_error (msg, _) ->
+            Alcotest.(check bool) "mentions ticks" true
+              (Tutil.contains ~sub:"ticks" msg));
+    check_result "two engines round-robin manually"
+      {|(let ((log '()))
+          (define (note x) (set! log (cons x log)))
+          (define (run2 e1 e2)
+            (e1 4
+                (lambda (r v) (note (cons 'done1 v))
+                  (e2 1000000 (lambda (r v) (note (cons 'done2 v)) 'ok)
+                      (lambda (n) 'no)))
+                (lambda (n1)
+                  (e2 4
+                      (lambda (r v) (note (cons 'done2 v))
+                        (n1 1000000 (lambda (r v) (note (cons 'done1 v)) 'ok)
+                            (lambda (n) 'no)))
+                      (lambda (n2) (run2 n1 n2))))))
+          (run2 (make-engine (lambda () (fib 8)))
+                (make-engine (lambda () (fib 7))))
+          (list (length log)
+                (if (assq 'done1 log) (cdr (assq 'done1 log)) #f)
+                (if (assq 'done2 log) (cdr (assq 'done2 log)) #f)))|}
+      (Printf.sprintf "(2 %d %d)" (fib_expected 8) (fib_expected 7));
+    (* threads on tiny segments: preemption across overflow machinery *)
+    case "threads survive tiny segments" (fun () ->
+        let v, _, _ =
+          run_stack ~config:Tutil.tiny_config
+            "(run-fib-threads 3 9 4 %call/1cc)"
+        in
+        Alcotest.(check string) "done" "all-done" v);
+    case "threads survive tiny segments with call/cc overflow" (fun () ->
+        let v, _, _ =
+          run_stack ~config:Tutil.tiny_callcc_config
+            "(run-fib-threads 3 9 4 %call/cc)"
+        in
+        Alcotest.(check string) "done" "all-done" v);
+  ]
