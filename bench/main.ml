@@ -40,6 +40,58 @@ let header title = Printf.printf "\n== %s\n" title
 let note fmt = Printf.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable metrics (BENCH_*.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment records its headline measurements here; [--json FILE]
+   dumps them so each PR can commit a perf baseline and later PRs can
+   diff against it.  Counter semantics are those of [Stats]. *)
+
+type jval = J_int of int | J_float of float
+
+let json_records : (string * (string * jval) list) list ref = ref []
+let record name metrics = json_records := (name, metrics) :: !json_records
+
+let stat_metrics (st : Stats.t) =
+  [
+    ("instrs", J_int st.Stats.instrs);
+    ("words_copied", J_int st.Stats.words_copied);
+    ("seg_alloc_words", J_int st.Stats.seg_alloc_words);
+    ("cache_hits", J_int st.Stats.cache_hits);
+  ]
+
+let record_run ?(extra = []) name ms (st : Stats.t) =
+  record name ((("ms", J_float ms) :: stat_metrics st) @ extra)
+
+let write_json ~full path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"oneshot-bench/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": %S,\n" (if full then "full" else "quick"));
+  Buffer.add_string buf "  \"experiments\": {\n";
+  let entries = List.rev !json_records in
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, metrics) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {" name);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "%S: %s" k
+               (match v with
+               | J_int x -> string_of_int x
+               | J_float x -> Printf.sprintf "%.3f" x)))
+        metrics;
+      Buffer.add_string buf (if i < n - 1 then "},\n" else "}\n"))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* E1: ctak                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -68,6 +120,11 @@ let e1 ~full () =
   in
   row "call/cc" ms_cc st_cc;
   row "call/1cc" ms_1cc st_1cc;
+  let captures (st : Stats.t) =
+    ("captures", J_int (st.captures_multi + st.captures_oneshot))
+  in
+  record_run "e1.callcc" ms_cc st_cc ~extra:[ captures st_cc ];
+  record_run "e1.call1cc" ms_1cc st_1cc ~extra:[ captures st_1cc ];
   Printf.printf
     "  call/1cc: %.0f%% faster, %.0f%% less stack allocation (paper: 13%% \
      faster, 23%% less memory)\n"
@@ -85,6 +142,7 @@ let e2 ~full () =
   let fib_n = if full then 20 else 15 in
   let thread_counts = if full then [ 10; 100; 1000 ] else [ 10; 100 ] in
   let freqs = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
+  let total_cps = ref 0. and total_cc = ref 0. and total_1cc = ref 0. in
   Printf.printf
     "  each thread computes (fib %d); times in ms (paper: DEC Alpha ms)\n"
     fib_n;
@@ -114,9 +172,15 @@ let e2 ~full () =
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/1cc)" nthreads
                  fib_n freq)
           in
+          total_cps := !total_cps +. cps;
+          total_cc := !total_cc +. cc;
+          total_1cc := !total_1cc +. c1;
           Printf.printf "  %8d %12.1f %12.1f %12.1f\n" freq cps cc c1)
         freqs)
     thread_counts;
+  record "e2.cps" [ ("ms", J_float !total_cps) ];
+  record "e2.callcc" [ ("ms", J_float !total_cc) ];
+  record "e2.call1cc" [ ("ms", J_float !total_1cc) ];
   note
     "  expected shape: CPS wins only for switches more frequent than about\n\
     \  once every 4-8 calls; call/1cc <= call/cc everywhere; the advantage\n\
@@ -155,6 +219,10 @@ let e3 ~full () =
   in
   let ms1, st1 = measure Control.As_call1cc "implicit call/1cc" in
   let ms2, st2 = measure Control.As_callcc "implicit call/cc" in
+  record_run "e3.overflow-call1cc" ms1 st1
+    ~extra:[ ("overflows", J_int st1.Stats.overflows) ];
+  record_run "e3.overflow-callcc" ms2 st2
+    ~extra:[ ("overflows", J_int st2.Stats.overflows) ];
   Printf.printf
     "  one-shot overflow: %.0fx less copying, %.0fx less allocation, %.0f%% \
      faster wall clock\n"
@@ -196,26 +264,56 @@ let e4 ~full () =
   Printf.printf "  %-8s | %9s %9s %9s | %9s %9s %9s\n" "" "stack-VM" "copied"
     "closures" "heap-VM" "cow" "closures";
   let totals = ref (0., 0.) in
+  let stack_ms = ref 0. and heap_ms = ref 0. in
+  let stack_instrs = ref 0 and heap_instrs = ref 0 in
+  let stack_copied_total = ref 0 and stack_alloc_total = ref 0 in
+  let stack_hits_total = ref 0 in
+  let heap_frame_words_total = ref 0 and heap_cow_total = ref 0 in
   List.iter
     (fun (name, src) ->
       let s, st = session () in
       Stats.reset st;
-      run s src;
+      let _, ms_s = time_ms (fun () -> run s src) in
       let calls = float_of_int (max 1 st.Stats.calls) in
       let stack_w = float_of_int st.Stats.seg_alloc_words /. calls in
       let stack_copied = float_of_int st.Stats.words_copied /. calls in
       let stack_clos = float_of_int st.Stats.closures_made /. calls in
       let h, hst = heap_session () in
       Stats.reset hst;
-      run h src;
+      let _, ms_h = time_ms (fun () -> run h src) in
       let hcalls = float_of_int (max 1 hst.Stats.calls) in
       let heap_w = float_of_int hst.Stats.heap_frame_words /. hcalls in
       let heap_cow = float_of_int hst.Stats.cow_copies /. hcalls in
       let heap_clos = float_of_int hst.Stats.closures_made /. hcalls in
       totals := (fst !totals +. stack_w, snd !totals +. heap_w);
+      stack_ms := !stack_ms +. ms_s;
+      heap_ms := !heap_ms +. ms_h;
+      stack_instrs := !stack_instrs + st.Stats.instrs;
+      heap_instrs := !heap_instrs + hst.Stats.instrs;
+      stack_copied_total := !stack_copied_total + st.Stats.words_copied;
+      stack_alloc_total := !stack_alloc_total + st.Stats.seg_alloc_words;
+      stack_hits_total := !stack_hits_total + st.Stats.cache_hits;
+      heap_frame_words_total :=
+        !heap_frame_words_total + hst.Stats.heap_frame_words;
+      heap_cow_total := !heap_cow_total + hst.Stats.cow_copies;
       Printf.printf "  %-8s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n" name
         stack_w stack_copied stack_clos heap_w heap_cow heap_clos)
     workloads;
+  record "e4.stack"
+    [
+      ("ms", J_float !stack_ms);
+      ("instrs", J_int !stack_instrs);
+      ("words_copied", J_int !stack_copied_total);
+      ("seg_alloc_words", J_int !stack_alloc_total);
+      ("cache_hits", J_int !stack_hits_total);
+    ];
+  record "e4.heap"
+    [
+      ("ms", J_float !heap_ms);
+      ("instrs", J_int !heap_instrs);
+      ("heap_frame_words", J_int !heap_frame_words_total);
+      ("cow_copies", J_int !heap_cow_total);
+    ];
   let n = float_of_int (List.length workloads) in
   Printf.printf
     "  mean words/call: stack VM %.3f vs heap VM %.3f (paper: 0.1 vs 7.4 \
@@ -253,7 +351,11 @@ let a1 ~full () =
       Printf.printf "  %-12s %10.1f %12d %12d %12d\n"
         (if enabled then "enabled" else "disabled")
         ms stats.Stats.seg_allocs stats.Stats.seg_alloc_words
-        stats.Stats.cache_hits)
+        stats.Stats.cache_hits;
+      record_run
+        (if enabled then "a1.cache-on" else "a1.cache-off")
+        ms stats
+        ~extra:[ ("seg_allocs", J_int stats.Stats.seg_allocs) ])
     [ true; false ]
 
 let a2 ~full () =
@@ -285,7 +387,11 @@ let a2 ~full () =
         time_ms (fun () -> run s (Printf.sprintf "(crawl %d)" depth))
       in
       Printf.printf "  %-18d %10.1f %10d %12d\n" h ms stats.Stats.overflows
-        stats.Stats.words_copied)
+        stats.Stats.words_copied;
+      record_run
+        (Printf.sprintf "a2.hysteresis-%d" h)
+        ms stats
+        ~extra:[ ("overflows", J_int stats.Stats.overflows) ])
     [ 0; 16; 64; 256 ]
 
 let a3 ~full () =
@@ -321,7 +427,13 @@ let a3 ~full () =
       let invokes = max 1 stats.Stats.invokes_multi in
       Printf.printf "  %-14d %10d %10d %16.1f\n" bound stats.Stats.splits
         stats.Stats.invokes_multi
-        (float_of_int stats.Stats.words_copied /. float_of_int invokes))
+        (float_of_int stats.Stats.words_copied /. float_of_int invokes);
+      record
+        (Printf.sprintf "a3.bound-%d" bound)
+        [
+          ("splits", J_int stats.Stats.splits);
+          ("words_copied", J_int stats.Stats.words_copied);
+        ])
     [ 32; 128; 512; 4096 ]
 
 let a4 ~full () =
@@ -368,7 +480,12 @@ let a4 ~full () =
         | None -> 0
       in
       Printf.printf "  %-24s %14d %14.1f\n" name live
-        (float_of_int live /. float_of_int held))
+        (float_of_int live /. float_of_int held);
+      record
+        (match seal with
+        | Control.Whole_segment -> "a4.whole-segment"
+        | Control.Seal_displacement _ -> "a4.seal-displacement")
+        [ ("live_words", J_int live) ])
     [
       ("whole segment", Control.Whole_segment);
       ("seal displacement 256", Control.Seal_displacement 256);
@@ -402,7 +519,13 @@ let a5 ~full () =
       Stats.reset stats;
       let _, ms = time_ms (fun () -> run s "(measure)") in
       Printf.printf "  %-14s %12.1f %12d\n" name (ms *. 1000.)
-        stats.Stats.promotions)
+        stats.Stats.promotions;
+      record
+        ("a5." ^ name)
+        [
+          ("ms", J_float ms);
+          ("promotions", J_int stats.Stats.promotions);
+        ])
     [ ("eager", Control.Eager); ("shared-flag", Control.Shared_flag) ]
 
 let a6 ~full () =
@@ -410,11 +533,9 @@ let a6 ~full () =
     "A6 (extension): capture strategy -- paper's zero-copy sealing vs the      classic eager copy-on-capture";
   let x, y, z = if full then (18, 12, 6) else (16, 11, 5) in
   Printf.printf
-    "  workload: (ctak %d %d %d) with %%call/cc -- a capture at every call
-"
+    "  workload: (ctak %d %d %d) with %%call/cc -- a capture at every call\n"
     x y z;
-  Printf.printf "  %-18s %10s %14s %14s
-" "capture strategy" "time(ms)"
+  Printf.printf "  %-18s %10s %14s %14s\n" "capture strategy" "time(ms)"
     "copied@capture" "copied@invoke";
   List.iter
     (fun (name, strategy) ->
@@ -432,14 +553,18 @@ let a6 ~full () =
          Copy_on_capture, words_copied counts both directions -- report
          capture-side copying as total minus the invoke-side share, which
          for ctak is symmetric *)
-      Printf.printf "  %-18s %10.1f %14s %14d
-" name ms
+      Printf.printf "  %-18s %10.1f %14s %14d\n" name ms
         (match strategy with
         | Control.Seal -> "0"
         | Control.Copy_on_capture -> string_of_int (stats.Stats.words_copied / 2))
         (match strategy with
         | Control.Seal -> stats.Stats.words_copied
-        | Control.Copy_on_capture -> stats.Stats.words_copied / 2))
+        | Control.Copy_on_capture -> stats.Stats.words_copied / 2);
+      record_run
+        (match strategy with
+        | Control.Seal -> "a6.seal"
+        | Control.Copy_on_capture -> "a6.copy-on-capture")
+        ms stats)
     [ ("seal (paper)", Control.Seal); ("copy-on-capture", Control.Copy_on_capture) ]
 
 (* ------------------------------------------------------------------ *)
@@ -506,18 +631,24 @@ let all ~full () =
   a6 ~full ()
 
 let () =
-  let full = Array.exists (( = ) "--full") Sys.argv in
-  let which =
-    match
-      Array.to_list Sys.argv |> List.tl
-      |> List.filter (fun a -> a <> "--full")
-    with
-    | [] -> "all"
-    | x :: _ -> x
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" argv in
+  let rec json_path = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> json_path rest
+    | [] -> None
   in
+  let json = json_path argv in
+  let rec positional = function
+    | [] -> []
+    | "--full" :: rest -> positional rest
+    | "--json" :: _ :: rest -> positional rest
+    | x :: rest -> x :: positional rest
+  in
+  let which = match positional argv with [] -> "all" | x :: _ -> x in
   Printf.printf "oneshot-continuations benchmark harness (%s mode)\n"
     (if full then "full/paper-scale" else "quick");
-  match which with
+  (match which with
   | "e1" -> e1 ~full ()
   | "e2" -> e2 ~full ()
   | "e3" -> e3 ~full ()
@@ -534,5 +665,10 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (expected e1..e4, a1..a5, micro, all)\n" other;
-      exit 1
+        "unknown experiment %s (expected e1..e4, a1..a6, micro, all)\n" other;
+      exit 1);
+  match json with
+  | Some path ->
+      write_json ~full path;
+      Printf.printf "\nwrote %s\n" path
+  | None -> ()

@@ -10,10 +10,10 @@
 
 open Cmdliner
 
-let run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~exprs
-    ~files ~interactive =
+let run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~peephole
+    ~exprs ~files ~interactive =
   let stats = Stats.create () in
-  let s = Scheme.create ~backend ~stats ~optimize () in
+  let s = Scheme.create ~backend ~stats ~optimize ~peephole () in
   if corpus then Scheme.load_corpus s;
   let dump_output () =
     let out = Scheme.output s in
@@ -23,7 +23,7 @@ let run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~exprs
     if disassemble then
       List.iter
         (fun code -> print_string (Bytecode.disassemble_deep code))
-        (Compiler.compile_string ~optimize (Scheme.globals s) src)
+        (Compiler.compile_string ~optimize ~peephole (Scheme.globals s) src)
     else
       match Scheme.eval s src with
       | v ->
@@ -123,8 +123,8 @@ let capture_conv =
   Arg.enum [ ("seal", Control.Seal); ("copy", Control.Copy_on_capture) ]
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
-    no_cache promotion capture corpus stats_flag disassemble optimize exprs
-    files =
+    no_cache promotion capture corpus stats_flag disassemble optimize
+    no_peephole exprs files =
   let config =
     {
       Control.default_config with
@@ -148,8 +148,8 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
-  run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~exprs
-    ~files ~interactive
+  run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize
+    ~peephole:(not no_peephole) ~exprs ~files ~interactive
 
 let cmd =
   let backend =
@@ -235,6 +235,14 @@ let cmd =
           ~doc:
             "Enable the AST optimizer (constant folding; assumes standard              bindings).")
   in
+  let no_peephole =
+    Arg.(
+      value & flag
+      & info [ "no-peephole" ]
+          ~doc:
+            "Disable the bytecode peephole pass (superinstruction fusion and \
+             inline-cached primitive calls).")
+  in
   let exprs =
     Arg.(
       value & opt_all string []
@@ -247,7 +255,7 @@ let cmd =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ corpus $ stats_flag
-      $ disassemble $ optimize $ exprs $ files)
+      $ disassemble $ optimize $ no_peephole $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

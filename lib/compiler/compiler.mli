@@ -24,8 +24,19 @@ val compile_top : Globals.t -> Ast.top -> Rt.code
 val compile_program : Globals.t -> Ast.top list -> Rt.code list
 
 val compile_string :
-  ?optimize:bool -> ?menv:Macro.menv -> Globals.t -> string -> Rt.code list
-(** Read, expand, (optionally) optimize, and compile a whole program. *)
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?menv:Macro.menv ->
+  Globals.t ->
+  string ->
+  Rt.code list
+(** Read, expand, (optionally) optimize, and compile a whole program.
+
+    [optimize] (default [false]) runs the AST-level constant folder,
+    which assumes standard bindings and can change the meaning of
+    programs that [set!] folded primitives.  [peephole] (default [true])
+    runs the always-sound bytecode fusion pass ({!Optimize.peephole});
+    pass [~peephole:false] to see (or execute) the unfused bytecode. *)
 
 val compile_eval : ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
 (** Compile a runtime datum for [(eval datum)]: a single zero-argument

@@ -136,3 +136,193 @@ let top = function
   | Ast.Define (x, e) -> Ast.Define (x, expr e)
 
 let program tops = List.map top tops
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode peephole: superinstruction fusion                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Post-compile pass over [instrs] arrays.  Two stages:
+
+   1. Push fusion: a value-producing instruction immediately followed by
+      [Local_set d] collapses into one [*_push] superinstruction that
+      writes the frame slot directly.  The fused form does not set [acc],
+      so fusion only fires where [acc] is provably dead: the fall-through
+      instruction must itself be an [acc] producer (or a call, which
+      ignores [acc]), and no branch may target the consumed [Local_set].
+
+   2. Primitive-call fusion: the sequence
+
+        Global_push (g, d+1); <simple pushes into d+2..>; (Tail_)Call {disp=d}
+
+      where [g] is currently bound to a pure primitive of matching arity
+      collapses into a [Prim_call]/[Prim_tail_call] superinstruction
+      carrying an inline cache (the bound [Prim] value as a physical
+      witness).  The VM guard re-checks the binding on every execution
+      and deoptimizes to the generic call path when it changed, so
+      [set!] of [+] etc. keeps its standard semantics.  Restricting the
+      intervening instructions to effect-free pushes keeps the delayed
+      callee load unobservable: nothing between the original load site
+      and the call can rebind the global.
+
+   Both stages shrink the instruction array, so branch targets are
+   remapped through an old-pc -> new-pc table. *)
+
+(* Is [acc] irrelevant to [i] (it overwrites or ignores it)? *)
+let acc_dead_at = function
+  | Rt.Const _ | Rt.Local_ref _ | Rt.Box_ref _ | Rt.Free_ref _
+  | Rt.Free_box_ref _ | Rt.Global_ref _ | Rt.Make_closure _ | Rt.Call _
+  | Rt.Tail_call _ | Rt.Box_init _ | Rt.Const_push _ | Rt.Local_push _
+  | Rt.Free_push _ | Rt.Global_push _ | Rt.Prim_call _ | Rt.Prim_call1 _
+  | Rt.Prim_call2 _ | Rt.Prim_tail_call _ ->
+      true
+  | _ -> false
+
+let branch_targets instrs =
+  let n = Array.length instrs in
+  let target = Array.make (n + 1) false in
+  Array.iter
+    (function
+      | Rt.Branch t | Rt.Branch_false t ->
+          if t >= 0 && t <= n then target.(t) <- true
+      | _ -> ())
+    instrs;
+  target
+
+let remap_branches map instrs =
+  Array.map
+    (function
+      | Rt.Branch t -> Rt.Branch map.(t)
+      | Rt.Branch_false t -> Rt.Branch_false map.(t)
+      | i -> i)
+    instrs
+
+(* Stage 1: push-pair fusion. *)
+let fuse_pushes instrs =
+  let n = Array.length instrs in
+  let target = branch_targets instrs in
+  let out = ref [] in
+  let outlen = ref 0 in
+  let map = Array.make (n + 1) 0 in
+  let emit i =
+    out := i :: !out;
+    incr outlen
+  in
+  let pc = ref 0 in
+  while !pc < n do
+    map.(!pc) <- !outlen;
+    let fused =
+      if !pc + 2 < n && (not target.(!pc + 1)) && acc_dead_at instrs.(!pc + 2)
+      then
+        match (instrs.(!pc), instrs.(!pc + 1)) with
+        | Rt.Const v, Rt.Local_set d -> Some (Rt.Const_push (v, d))
+        | Rt.Local_ref s, Rt.Local_set d when s <> d ->
+            Some (Rt.Local_push (s, d))
+        | Rt.Free_ref s, Rt.Local_set d -> Some (Rt.Free_push (s, d))
+        | Rt.Global_ref g, Rt.Local_set d -> Some (Rt.Global_push (g, d))
+        | _ -> None
+      else None
+    in
+    match fused with
+    | Some f ->
+        map.(!pc + 1) <- !outlen;
+        emit f;
+        pc := !pc + 2
+    | None ->
+        emit instrs.(!pc);
+        incr pc
+  done;
+  map.(n) <- !outlen;
+  remap_branches map (Array.of_list (List.rev !out))
+
+(* A push that may sit between the fused callee load and the call: writes
+   one frame slot, touches neither [acc] nor any global binding, and any
+   error it can raise is one the unfused sequence raises identically. *)
+let arg_push_ok ~callee_slot = function
+  | Rt.Const_push (_, d) | Rt.Free_push (_, d) | Rt.Global_push (_, d) ->
+      d <> callee_slot
+  | Rt.Local_push (s, d) -> s <> callee_slot && d <> callee_slot
+  | _ -> false
+
+let pure_target (g : Rt.global) nargs =
+  if not g.Rt.gdefined then None
+  else
+    match g.Rt.gval with
+    | Rt.Prim ({ pfn = Pure fn; parity; _ } as p) as pv
+      when Bytecode.arity_matches parity nargs ->
+        Some (pv, p, fn)
+    | _ -> None
+
+(* Stage 2: primitive-call fusion. *)
+let fuse_prim_calls instrs =
+  let n = Array.length instrs in
+  let target = branch_targets instrs in
+  (* For each pc holding a fusable Global_push, the pc of its call. *)
+  let drop = Array.make n false in
+  let replace : Rt.instr option array = Array.make n None in
+  for pc = 0 to n - 1 do
+    match instrs.(pc) with
+    | Rt.Global_push (g, dst) when not drop.(pc) ->
+        let rec scan j =
+          if j >= n || target.(j) then ()
+          else if arg_push_ok ~callee_slot:dst instrs.(j) then scan (j + 1)
+          else
+            match instrs.(j) with
+            | (Rt.Call { disp; nargs } | Rt.Tail_call { disp; nargs })
+              when disp + 1 = dst && replace.(j) = None -> (
+                match pure_target g nargs with
+                | Some (pv, p, fn) ->
+                    let site =
+                      {
+                        Rt.ps_disp = disp;
+                        ps_nargs = nargs;
+                        ps_global = g;
+                        ps_guard = pv;
+                        ps_prim = p;
+                        ps_fn = fn;
+                      }
+                    in
+                    let call =
+                      match instrs.(j) with
+                      | Rt.Tail_call _ -> Rt.Prim_tail_call site
+                      | _ when nargs = 1 -> Rt.Prim_call1 site
+                      | _ when nargs = 2 -> Rt.Prim_call2 site
+                      | _ -> Rt.Prim_call site
+                    in
+                    drop.(pc) <- true;
+                    replace.(j) <- Some call
+                | None -> ())
+            | _ -> ()
+        in
+        scan (pc + 1)
+    | _ -> ()
+  done;
+  let out = ref [] in
+  let outlen = ref 0 in
+  let map = Array.make (n + 1) 0 in
+  for pc = 0 to n - 1 do
+    map.(pc) <- !outlen;
+    if not drop.(pc) then begin
+      (match replace.(pc) with
+      | Some i -> out := i :: !out
+      | None -> out := instrs.(pc) :: !out);
+      incr outlen
+    end
+  done;
+  map.(n) <- !outlen;
+  remap_branches map (Array.of_list (List.rev !out))
+
+(* Fuse one code object and, recursively, every code object it closes
+   over.  Frame layout, arity, and [frame_words] are unchanged: fusion
+   only merges dispatches. *)
+let rec peephole (c : Rt.code) : Rt.code =
+  let instrs = fuse_prim_calls (fuse_pushes c.Rt.instrs) in
+  let instrs =
+    Array.map
+      (function
+        | Rt.Make_closure (cc, caps) -> Rt.Make_closure (peephole cc, caps)
+        | i -> i)
+      instrs
+  in
+  { c with Rt.instrs }
+
+let peephole_program codes = List.map peephole codes

@@ -13,3 +13,28 @@
 val expr : Ast.t -> Ast.t
 val top : Ast.top -> Ast.top
 val program : Ast.top list -> Ast.top list
+
+(** {1 Bytecode peephole pass}
+
+    Unlike the AST folder above, the peephole stage is sound by
+    construction and is applied by default ([Compiler.compile_string
+    ~peephole:true]).  It performs two fusions over compiled [instrs]
+    arrays:
+
+    - push fusion: a value-producing instruction immediately followed by
+      [Local_set] becomes a single [*_push] superinstruction that writes
+      the frame slot directly, provided the accumulator is provably dead
+      at the fusion site (the fall-through instruction overwrites or
+      ignores it and the [Local_set] is not a branch target);
+    - primitive-call fusion: a [Global_push] of a cell currently bound to
+      a pure primitive, followed only by effect-free argument pushes and
+      then the matching [Call]/[Tail_call], becomes a [Prim_call*] site
+      carrying an inline cache.  The VM re-validates the cache
+      ([gval == ps_guard]) on every execution, so [set!] of a fused
+      primitive deoptimizes the site to the generic call path and the
+      program's meaning is preserved. *)
+
+val peephole : Rt.code -> Rt.code
+(** Fuse one code object (recursing into [Make_closure] bodies). *)
+
+val peephole_program : Rt.code list -> Rt.code list

@@ -78,6 +78,27 @@ let wholly_owned sr = sr.base = 0 && sr.size = Array.length sr.seg
 let fresh_record seg ~base ~size ~link =
   { seg; base; size; current = 0; link; ret = Void; promoted = ref false }
 
+(* Debug record identities (CONTROL_DEBUG traces only).  The table is
+   populated solely under [!debug] — identity lookups are O(n) in the
+   number of live records traced, which is fine for a trace aid but must
+   never be paid (or leak) on production paths — and is emptied by
+   [create] so one machine's records do not pin another's segments. *)
+let debug = ref (Sys.getenv_opt "CONTROL_DEBUG" <> None)
+let rid = ref 0
+let ids : (stack_record * int) list ref = ref []
+
+let id_of (r : stack_record) =
+  if not !debug then 0
+  else
+    match List.find_opt (fun (r', _) -> r' == r) !ids with
+    | Some (_, i) -> i
+    | None ->
+        incr rid;
+        ids := (r, !rid) :: !ids;
+        !rid
+
+let dbg fmt = Printf.eprintf fmt
+
 let create ?stats cfg =
   assert (cfg.seg_words >= 64);
   assert (cfg.copy_bound >= 16);
@@ -85,6 +106,8 @@ let create ?stats cfg =
   | Seal_displacement h -> assert (h >= 1)
   | Whole_segment -> ());
   let stats = match stats with Some s -> s | None -> Stats.create () in
+  ids := [];
+  rid := 0;
   let m =
     {
       cfg;
@@ -116,18 +139,6 @@ let frame_ret m = m.sr.seg.(m.fp)
 (* ------------------------------------------------------------------ *)
 (* Record classification                                               *)
 (* ------------------------------------------------------------------ *)
-
-let debug = ref (Sys.getenv_opt "CONTROL_DEBUG" <> None)
-let rid = ref 0
-let ids : (stack_record * int) list ref = ref []
-let id_of (r : stack_record) =
-  match List.find_opt (fun (r', _) -> r' == r) !ids with
-  | Some (_, i) -> i
-  | None ->
-      incr rid;
-      ids := (r, !rid) :: !ids;
-      !rid
-let dbg fmt = Printf.eprintf fmt
 
 let is_shot r = r.size = -1
 let is_multi r = r.current = r.size || !(r.promoted)

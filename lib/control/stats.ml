@@ -1,8 +1,11 @@
 type t = {
+  mutable enabled : bool;
   mutable instrs : int;
   mutable calls : int;
   mutable frames : int;
   mutable prim_calls : int;
+  mutable prim_fast : int;
+  mutable prim_deopts : int;
   mutable captures_multi : int;
   mutable captures_oneshot : int;
   mutable invokes_multi : int;
@@ -23,12 +26,15 @@ type t = {
   mutable cow_copies : int;
 }
 
-let create () =
+let create ?(enabled = true) () =
   {
+    enabled;
     instrs = 0;
     calls = 0;
     frames = 0;
     prim_calls = 0;
+    prim_fast = 0;
+    prim_deopts = 0;
     captures_multi = 0;
     captures_oneshot = 0;
     invokes_multi = 0;
@@ -49,11 +55,14 @@ let create () =
     cow_copies = 0;
   }
 
+(* [reset] clears the counters but leaves [enabled] alone. *)
 let reset t =
   t.instrs <- 0;
   t.calls <- 0;
   t.frames <- 0;
   t.prim_calls <- 0;
+  t.prim_fast <- 0;
+  t.prim_deopts <- 0;
   t.captures_multi <- 0;
   t.captures_oneshot <- 0;
   t.invokes_multi <- 0;
@@ -79,6 +88,8 @@ let to_rows t =
     ("calls", t.calls);
     ("frames", t.frames);
     ("prim-calls", t.prim_calls);
+    ("prim-fast", t.prim_fast);
+    ("prim-deopts", t.prim_deopts);
     ("captures-multi", t.captures_multi);
     ("captures-oneshot", t.captures_oneshot);
     ("invokes-multi", t.invokes_multi);

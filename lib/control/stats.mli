@@ -5,10 +5,22 @@
     the same way the paper's instruction counts and memory numbers do. *)
 
 type t = {
+  mutable enabled : bool;
+      (** Toggle for the hot-path counters ([instrs], [calls], [frames],
+          [prim_calls], ...): the VM dispatch loops skip those increments
+          when false, so production dispatch does not pay for
+          observability.  Rare-event counters (overflows, captures,
+          splits, ...) are always maintained.  Default: true; [reset]
+          leaves it alone. *)
   mutable instrs : int;  (** VM instructions dispatched *)
   mutable calls : int;  (** closure calls (incl. tail calls) *)
   mutable frames : int;  (** non-tail frames pushed *)
   mutable prim_calls : int;
+  mutable prim_fast : int;
+      (** fused [Prim_call*] sites taking the inline-cache fast path *)
+  mutable prim_deopts : int;
+      (** fused [Prim_call*] sites whose guard failed (primitive
+          redefined): the generic call path was taken *)
   mutable captures_multi : int;
   mutable captures_oneshot : int;
   mutable invokes_multi : int;
@@ -29,7 +41,7 @@ type t = {
   mutable cow_copies : int;  (** heap VM: copy-on-write frame copies *)
 }
 
-val create : unit -> t
+val create : ?enabled:bool -> unit -> t
 val reset : t -> unit
 val copy : t -> t
 

@@ -368,6 +368,67 @@ let step vm =
   | Return -> do_return vm
   | Enter -> enter vm
   | Halt -> vm.halted <- true
+  (* ---- fused superinstructions (emitted by Optimize.peephole).  The
+     heap VM executes the same bytecode as the stack VM, so it carries
+     equivalent handlers; pushes go through [writable] to respect the
+     copy-on-write discipline. *)
+  | Const_push (v, i) -> (writable vm).hslots.(i) <- v
+  | Local_push (i, j) ->
+      let f = writable vm in
+      f.hslots.(j) <- f.hslots.(i)
+  | Free_push (i, j) -> (
+      match vm.frame.hslots.(1) with
+      | Closure c -> (writable vm).hslots.(j) <- c.frees.(i)
+      | v -> Values.err "heapvm: free-push outside closure" [ v ])
+  | Global_push (g, i) ->
+      if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+      (writable vm).hslots.(i) <- g.gval
+  | Prim_call site | Prim_call1 site | Prim_call2 site ->
+      if site.ps_global.gval == site.ps_guard then begin
+        vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+        vm.stats.Stats.prim_fast <- vm.stats.Stats.prim_fast + 1;
+        let slots = vm.frame.hslots in
+        let base = site.ps_disp + 2 in
+        vm.acc <-
+          site.ps_fn (Array.init site.ps_nargs (fun i -> slots.(base + i)))
+      end
+      else begin
+        (* Inline-cache miss: fall back to the generic non-tail call. *)
+        vm.stats.Stats.prim_deopts <- vm.stats.Stats.prim_deopts + 1;
+        let g = site.ps_global in
+        if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+        let slots = vm.frame.hslots in
+        let base = site.ps_disp + 2 in
+        let args = Array.init site.ps_nargs (fun i -> slots.(base + i)) in
+        vm.stats.Stats.frames <- vm.stats.Stats.frames + 1;
+        happly vm g.gval args
+          ~ret:
+            (Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = site.ps_disp })
+          ~parent:(Some vm.frame) ~guards:[]
+      end
+  | Prim_tail_call site ->
+      if site.ps_global.gval == site.ps_guard then begin
+        vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+        vm.stats.Stats.prim_fast <- vm.stats.Stats.prim_fast + 1;
+        let slots = vm.frame.hslots in
+        let base = site.ps_disp + 2 in
+        vm.acc <-
+          site.ps_fn (Array.init site.ps_nargs (fun i -> slots.(base + i)));
+        do_return vm
+      end
+      else begin
+        vm.stats.Stats.prim_deopts <- vm.stats.Stats.prim_deopts + 1;
+        let g = site.ps_global in
+        if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+        let cur = vm.frame in
+        let slots = cur.hslots in
+        let base = site.ps_disp + 2 in
+        let args = Array.init site.ps_nargs (fun i -> slots.(base + i)) in
+        (if cur.hshared then
+           match cur.hparent with Some p -> p.hshared <- true | None -> ());
+        happly vm g.gval args ~ret:cur.hret ~parent:cur.hparent
+          ~guards:cur.hguards
+      end
 
 let pop_error_handler vm =
   match Globals.lookup_opt vm.globals "%error-handlers" with
@@ -421,6 +482,6 @@ let run ?(fuel = -1) vm code =
 let run_program ?fuel vm codes =
   List.fold_left (fun _ code -> run ?fuel vm code) Void codes
 
-let eval ?fuel ?optimize vm src =
+let eval ?fuel ?optimize ?peephole vm src =
   run_program ?fuel vm
-    (Compiler.compile_string ?optimize ~menv:vm.menv vm.globals src)
+    (Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src)

@@ -37,5 +37,6 @@ exception Vm_fuel_exhausted
 val create : ?stats:Stats.t -> unit -> t
 val run : ?fuel:int -> t -> Rt.code -> Rt.value
 val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
-val eval : ?fuel:int -> ?optimize:bool -> t -> string -> Rt.value
+val eval :
+  ?fuel:int -> ?optimize:bool -> ?peephole:bool -> t -> string -> Rt.value
 val output : t -> string

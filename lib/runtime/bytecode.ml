@@ -38,6 +38,21 @@ let instr_to_string = function
   | Return -> "return"
   | Enter -> "enter"
   | Halt -> "halt"
+  | Const_push (v, i) ->
+      Printf.sprintf "const-push %s %d" (Values.write_string v) i
+  | Local_push (i, j) -> Printf.sprintf "local-push %d %d" i j
+  | Free_push (i, j) -> Printf.sprintf "free-push %d %d" i j
+  | Global_push (g, i) -> Printf.sprintf "global-push %s %d" g.gname i
+  | Prim_call s ->
+      Printf.sprintf "prim-call %s disp=%d nargs=%d" s.ps_prim.pname s.ps_disp
+        s.ps_nargs
+  | Prim_call1 s ->
+      Printf.sprintf "prim-call1 %s disp=%d" s.ps_prim.pname s.ps_disp
+  | Prim_call2 s ->
+      Printf.sprintf "prim-call2 %s disp=%d" s.ps_prim.pname s.ps_disp
+  | Prim_tail_call s ->
+      Printf.sprintf "prim-tail-call %s disp=%d nargs=%d" s.ps_prim.pname
+        s.ps_disp s.ps_nargs
 
 let disassemble code =
   let buf = Buffer.create 256 in

@@ -85,6 +85,36 @@ and instr =
                                             check, timer tick *)
   | Halt                                 (* stop the machine; acc is the
                                             program result *)
+  (* Fused superinstructions, emitted only by the peephole stage
+     (Optimize.peephole).  The push forms collapse a value-producing
+     instruction followed by [Local_set] into one dispatch; they write the
+     frame slot directly and leave [acc] untouched (the peephole proves
+     [acc] dead at the fusion site). *)
+  | Const_push of value * int            (* frame.(i) := v *)
+  | Local_push of int * int              (* frame.(j) := frame.(i) *)
+  | Free_push of int * int               (* frame.(j) := frees.(i) *)
+  | Global_push of global * int          (* frame.(i) := global (bound check) *)
+  (* Inline-cached calls of known pure primitives: the callee global was
+     bound to [ps_guard] when the site was compiled.  The guard re-checks
+     [ps_global.gval == ps_guard] at every execution; on mismatch ([set!]
+     of [+] etc.) the site deoptimizes to the generic call path.  The fast
+     path pushes no return address, moves no frame pointer, and allocates
+     no argument array. *)
+  | Prim_call of prim_site               (* non-tail call, any arity *)
+  | Prim_call1 of prim_site              (* fixed-arity fast variants *)
+  | Prim_call2 of prim_site
+  | Prim_tail_call of prim_site          (* tail call: acc := result; return *)
+
+and prim_site = {
+  ps_disp : int;                         (* frame displacement of the call
+                                            area, as in [Call] *)
+  ps_nargs : int;
+  ps_global : global;                    (* cell the callee was loaded from *)
+  ps_guard : value;                      (* the [Prim] value cached at
+                                            compile time (physical witness) *)
+  ps_prim : prim;                        (* same prim, for disassembly *)
+  ps_fn : value array -> value;          (* its pure entry point *)
+}
 
 and capture = Cap_local of int | Cap_free of int
 

@@ -13,16 +13,19 @@ type t = {
   machine : machine;
   stats : Stats.t;
   optimize : bool;
+  peephole : bool;
 }
 
 let eval_machine ?fuel t src =
   match t.machine with
-  | M_stack vm -> Vm.eval ?fuel ~optimize:t.optimize vm src
-  | M_heap vm -> Heapvm.eval ?fuel ~optimize:t.optimize vm src
+  | M_stack vm ->
+      Vm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
+  | M_heap vm ->
+      Heapvm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
   | M_oracle o -> Oracle.eval ?fuel o src
 
 let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
-    ?(corpus = false) ?(optimize = false) () =
+    ?(corpus = false) ?(optimize = false) ?(peephole = true) () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let machine =
     match backend with
@@ -30,7 +33,7 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     | Heap -> M_heap (Heapvm.create ~stats ())
     | Oracle -> M_oracle (Oracle.create ())
   in
-  let t = { which = backend; machine; stats; optimize } in
+  let t = { which = backend; machine; stats; optimize; peephole } in
   if prelude then ignore (eval_machine t Prelude.source);
   if corpus then begin
     ignore (eval_machine t Programs.all_defs);

@@ -17,9 +17,11 @@ type t
 
 val create :
   ?backend:backend -> ?stats:Stats.t -> ?prelude:bool -> ?corpus:bool ->
-  ?optimize:bool -> unit -> t
+  ?optimize:bool -> ?peephole:bool -> unit -> t
 (** Defaults: [Stack Control.default_config], prelude loaded, benchmark
-    corpus definitions not loaded, AST optimizer off (see {!Optimize}). *)
+    corpus definitions not loaded, AST optimizer off (see {!Optimize}),
+    bytecode peephole fusion on ([?peephole:false] executes the unfused
+    bytecode, e.g. for differential testing). *)
 
 val backend : t -> backend
 val eval : ?fuel:int -> t -> string -> Rt.value

@@ -13,9 +13,16 @@ type t = {
   mutable timer_handler : value;
   mutable halted : bool;
   mutable fuel : int;
+  scratch : value array array;
+      (* scratch.(k), k <= max_scratch, is a reusable length-k argument
+         buffer for pure-primitive application: no per-call Array.init.
+         Safe because no pure primitive retains its argument array and
+         pure primitives never re-enter the VM. *)
 }
 
 exception Vm_fuel_exhausted
+
+let max_scratch = 8
 
 let halt_code =
   Bytecode.make_code ~name:"%halt" ~arity:(Exactly 0) ~frame_words:2 [| Halt |]
@@ -37,6 +44,7 @@ let create ?(config = Control.default_config) ?stats () =
     timer_handler = Void;
     halted = false;
     fuel = -1;
+    scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
   }
 
 let stats vm = vm.m.Control.stats
@@ -79,6 +87,18 @@ let do_return vm =
 (* Application                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Collect [nargs] argument values starting at [seg.(base)] into a
+   reusable scratch buffer (falling back to a fresh array for rare
+   high-arity calls).  Every pure primitive either destructures or
+   copies its argument array, so reuse across calls is safe. *)
+let prim_args vm seg base nargs =
+  if nargs <= max_scratch then begin
+    let args = vm.scratch.(nargs) in
+    Array.blit seg base args 0 nargs;
+    args
+  end
+  else Array.init nargs (fun i -> seg.(base + i))
+
 (* Apply [f] whose frame starts at [nfp] (return slot already correct and
    arguments at [nfp+2 ..]).  Used for both non-tail calls (fresh return
    address) and tail calls (inherited return slot). *)
@@ -91,13 +111,14 @@ let rec apply vm f nfp nargs =
       vm.code <- c.code;
       vm.pc <- 0;
       vm.nargs <- nargs;
-      stats.Stats.calls <- stats.Stats.calls + 1
+      if stats.Stats.enabled then stats.Stats.calls <- stats.Stats.calls + 1
   | Prim { pfn = Pure fn; parity; pname } ->
       if not (Bytecode.arity_matches parity nargs) then
         Values.err (pname ^ ": wrong number of arguments") [];
       let seg = m.Control.sr.seg in
-      let args = Array.init nargs (fun i -> seg.(nfp + 2 + i)) in
-      stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      let args = prim_args vm seg (nfp + 2) nargs in
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
       vm.acc <- fn args;
       (* Frame pointer is untouched for pure primitives: if this was a
          tail call ([nfp] = fp) the caller's Return follows; if it was a
@@ -107,7 +128,8 @@ let rec apply vm f nfp nargs =
       if not (Bytecode.arity_matches parity nargs) then
         Values.err (pname ^ ": wrong number of arguments") [];
       m.Control.fp <- nfp;
-      stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
       special vm sp nargs
   | Cont c -> invoke_continuation vm c nfp nargs
   | v -> Values.err "application of non-procedure" [ v ]
@@ -257,12 +279,12 @@ let enter vm =
 (* The dispatch loop                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let step vm =
+let rec step vm =
   let m = vm.m in
   let instr = vm.code.instrs.(vm.pc) in
   vm.pc <- vm.pc + 1;
   let stats = m.Control.stats in
-  stats.Stats.instrs <- stats.Stats.instrs + 1;
+  if stats.Stats.enabled then stats.Stats.instrs <- stats.Stats.instrs + 1;
   match instr with
   | Const v -> vm.acc <- v
   | Local_ref i -> vm.acc <- m.Control.sr.seg.(m.Control.fp + i)
@@ -271,7 +293,8 @@ let step vm =
       let seg = m.Control.sr.seg in
       let fp = m.Control.fp in
       seg.(fp + i) <- Box (ref seg.(fp + i));
-      stats.Stats.boxes_made <- stats.Stats.boxes_made + 1
+      if stats.Stats.enabled then
+        stats.Stats.boxes_made <- stats.Stats.boxes_made + 1
   | Box_ref i -> (
       match m.Control.sr.seg.(m.Control.fp + i) with
       | Box r -> vm.acc <- !r
@@ -322,17 +345,30 @@ let step vm =
                 | v -> Values.err "vm: capture outside closure" [ v ]))
           caps
       in
-      stats.Stats.closures_made <- stats.Stats.closures_made + 1;
+      if stats.Stats.enabled then
+        stats.Stats.closures_made <- stats.Stats.closures_made + 1;
       vm.acc <- Closure { code; frees }
   | Branch pc -> vm.pc <- pc
   | Branch_false pc -> if not (Values.is_truthy vm.acc) then vm.pc <- pc
-  | Call { disp; nargs } ->
+  | Call { disp; nargs } -> (
       let fp = m.Control.fp in
       let seg = m.Control.sr.seg in
       let nfp = fp + disp in
-      seg.(nfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp };
-      stats.Stats.frames <- stats.Stats.frames + 1;
-      apply vm seg.(nfp + 1) nfp nargs
+      match seg.(nfp + 1) with
+      | Prim { pfn = Pure fn; parity; pname } ->
+          (* Pure primitives return straight to the fall-through pc:
+             no return address is written and fp never moves, so the
+             whole call is [arity check; apply; continue]. *)
+          if not (Bytecode.arity_matches parity nargs) then
+            Values.err (pname ^ ": wrong number of arguments") [];
+          if stats.Stats.enabled then
+            stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          vm.acc <- fn (prim_args vm seg (nfp + 2) nargs)
+      | f ->
+          seg.(nfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp };
+          if stats.Stats.enabled then
+            stats.Stats.frames <- stats.Stats.frames + 1;
+          apply vm f nfp nargs)
   | Tail_call { disp; nargs } ->
       let fp = m.Control.fp in
       let seg = m.Control.sr.seg in
@@ -344,6 +380,106 @@ let step vm =
   | Return -> do_return vm
   | Enter -> enter vm
   | Halt -> vm.halted <- true
+  (* ---- fused superinstructions (emitted by Optimize.peephole) ---- *)
+  | Const_push (v, i) -> m.Control.sr.seg.(m.Control.fp + i) <- v
+  | Local_push (i, j) ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      seg.(fp + j) <- seg.(fp + i)
+  | Free_push (i, j) -> (
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      match seg.(fp + 1) with
+      | Closure c -> seg.(fp + j) <- c.frees.(i)
+      | v -> Values.err "vm: free-push outside closure" [ v ])
+  | Global_push (g, i) ->
+      if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+      m.Control.sr.seg.(m.Control.fp + i) <- g.gval
+  | Prim_call site ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      if site.ps_global.gval == site.ps_guard then begin
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        vm.acc <-
+          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
+      end
+      else prim_deopt_call vm site
+  | Prim_call1 site ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      if site.ps_global.gval == site.ps_guard then begin
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- seg.(fp + site.ps_disp + 2);
+        vm.acc <- site.ps_fn args
+      end
+      else prim_deopt_call vm site
+  | Prim_call2 site ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      if site.ps_global.gval == site.ps_guard then begin
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        let base = fp + site.ps_disp + 2 in
+        args.(0) <- seg.(base);
+        args.(1) <- seg.(base + 1);
+        vm.acc <- site.ps_fn args
+      end
+      else prim_deopt_call vm site
+  | Prim_tail_call site ->
+      let seg = m.Control.sr.seg in
+      let fp = m.Control.fp in
+      if site.ps_global.gval == site.ps_guard then begin
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        vm.acc <-
+          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs);
+        do_return vm
+      end
+      else prim_deopt_tail_call vm site
+
+(* The inline-cache guard failed: the global a fused site was compiled
+   against has been assigned ([set!] of [+] and the like).  Reconstruct
+   the generic call the peephole replaced and take the slow path with
+   whatever value the cell holds now. *)
+and prim_deopt_call vm site =
+  let m = vm.m in
+  let stats = m.Control.stats in
+  stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+  let g = site.ps_global in
+  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let nfp = fp + site.ps_disp in
+  seg.(nfp + 1) <- g.gval;
+  seg.(nfp) <-
+    Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = site.ps_disp };
+  if stats.Stats.enabled then stats.Stats.frames <- stats.Stats.frames + 1;
+  apply vm g.gval nfp site.ps_nargs
+
+and prim_deopt_tail_call vm site =
+  let m = vm.m in
+  let stats = m.Control.stats in
+  stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+  let g = site.ps_global in
+  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let f = g.gval in
+  seg.(fp + 1) <- f;
+  Array.blit seg (fp + site.ps_disp + 2) seg (fp + 2) site.ps_nargs;
+  apply vm f fp site.ps_nargs
 
 (* Runtime errors unwind to Scheme when a handler is installed: the VM
    pops the head of the %error-handlers list and calls it with the
@@ -404,6 +540,6 @@ let run ?(fuel = -1) vm code =
 let run_program ?fuel vm codes =
   List.fold_left (fun _ code -> run ?fuel vm code) Void codes
 
-let eval ?fuel ?optimize vm src =
+let eval ?fuel ?optimize ?peephole vm src =
   run_program ?fuel vm
-    (Compiler.compile_string ?optimize ~menv:vm.menv vm.globals src)
+    (Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src)

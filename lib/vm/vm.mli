@@ -25,6 +25,10 @@ type t = {
   mutable timer_handler : Rt.value;
   mutable halted : bool;
   mutable fuel : int;  (** negative = unlimited *)
+  scratch : Rt.value array array;
+      (** reusable argument buffers for pure-primitive calls:
+          [scratch.(k)] has length [k]; no [Array.init] on the prim-call
+          fast path *)
 }
 
 exception Vm_fuel_exhausted
@@ -43,8 +47,11 @@ val run : ?fuel:int -> t -> Rt.code -> Rt.value
 val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
 (** Run a compiled program form by form; the last form's value. *)
 
-val eval : ?fuel:int -> ?optimize:bool -> t -> string -> Rt.value
-(** Read, expand, compile, and run source text. *)
+val eval :
+  ?fuel:int -> ?optimize:bool -> ?peephole:bool -> t -> string -> Rt.value
+(** Read, expand, compile, and run source text.  [peephole] (default
+    [true]) controls the bytecode fusion pass; [optimize] (default
+    [false]) the AST-level constant folder. *)
 
 val output : t -> string
 (** Text emitted by [display]/[write]/[newline] so far. *)

@@ -93,8 +93,11 @@ let suite =
     case "disassemble_deep includes nested code" (fun () ->
         let code = compile_one "(lambda (x) (lambda (y) (+ x y)))" in
         let text = Bytecode.disassemble_deep code in
+        (* The inner lambda reads its free [x]; after peephole fusion the
+           read appears as free-push rather than free-ref. *)
         Alcotest.(check bool) "two lambdas" true
-          (Tutil.contains ~sub:"free-ref" text));
+          (Tutil.contains ~sub:"free-ref" text
+          || Tutil.contains ~sub:"free-push" text));
     case "branch targets in range" (fun () ->
         let code = compile_one "(if (if 1 2 3) (if 4 5 6) (if 7 8 9))" in
         Array.iter

@@ -140,6 +140,12 @@ let sessions =
        ( "stack-optimized",
          Scheme.create ~backend:(Scheme.Stack Control.default_config)
            ~optimize:true () );
+       ( "stack-noopt",
+         (* unfused bytecode: differential witness for the peephole pass *)
+         Scheme.create ~backend:(Scheme.Stack Control.default_config)
+           ~peephole:false () );
+       ( "heap-noopt",
+         Scheme.create ~backend:Scheme.Heap ~peephole:false () );
        ( "stack-copy-capture",
          mk
            (Scheme.Stack

@@ -12,5 +12,6 @@ let () =
       ("features", Test_features.suite);
       ("cml", Test_cml.suite);
       ("macros", Test_macros.suite);
+      ("peephole", Test_peephole.suite);
       ("differential", Test_diff.suite);
     ]

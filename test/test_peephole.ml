@@ -1,0 +1,165 @@
+(* Differential tests for the bytecode peephole pass: the same program
+   must produce identical results with fusion on and off, on the stack VM
+   (default and tiny-segment geometry) and the heap VM -- and the
+   inline-cached primitive sites must deoptimize, not misbehave, when a
+   fused primitive is redefined with [set!]. *)
+
+let case = Tutil.case
+let fuel = Tutil.default_fuel
+
+let eval ?(backend = Scheme.Stack Control.default_config) ?(corpus = false)
+    ~peephole src =
+  let s = Scheme.create ~backend ~peephole () in
+  if corpus then Scheme.load_corpus s;
+  Scheme.eval_string ~fuel s src
+
+(* Corpus workloads at test scale: arithmetic-heavy (maximum prim-call
+   fusion), continuation-heavy (capture/invoke across fused frames), and
+   overflow-heavy (fused code straddling segment boundaries). *)
+let corpus_workloads =
+  [
+    ("tak", "(tak 10 5 2)");
+    ("fib", "(fib 13)");
+    ("ack", "(ack 2 4)");
+    ("queens", "(queens-count 6)");
+    ("boyer", "(boyer-run 8)");
+    ("takl", "(takl 10 6 3)");
+    ("div", "(div-bench 50 20)");
+    ("deep", "(deep-loop 2 3000)");
+    ("ctak/cc", "(set! ctak-capture %call/cc) (ctak 12 8 4)");
+    ("ctak/1cc", "(set! ctak-capture %call/1cc) (ctak 12 8 4)");
+    ( "threads",
+      "(run-threads (list (lambda () (fib 9)) (lambda () (fib 10))) 16 \
+       %call/1cc)" );
+  ]
+
+let differential_cases =
+  List.concat_map
+    (fun (name, src) ->
+      [
+        case (name ^ ": peephole on/off agree [stack]") (fun () ->
+            Alcotest.(check string)
+              src
+              (eval ~corpus:true ~peephole:false src)
+              (eval ~corpus:true ~peephole:true src));
+        case (name ^ ": peephole on/off agree [stack/tiny]") (fun () ->
+            let backend = Scheme.Stack Tutil.tiny_config in
+            Alcotest.(check string)
+              src
+              (eval ~backend ~corpus:true ~peephole:false src)
+              (eval ~backend ~corpus:true ~peephole:true src));
+        case (name ^ ": peephole on/off agree [heap]") (fun () ->
+            Alcotest.(check string)
+              src
+              (eval ~backend:Scheme.Heap ~corpus:true ~peephole:false src)
+              (eval ~backend:Scheme.Heap ~corpus:true ~peephole:true src));
+      ])
+    corpus_workloads
+
+(* Redefining a fused primitive must deoptimize the inline cache: the
+   site takes the generic call path with the new binding. *)
+let deopt_src =
+  {|(define (f x y) (+ x y))
+    (define r1 (f 1 2))
+    (set! + *)
+    (define r2 (f 3 4))
+    (set! + -)
+    (define r3 (f 10 4))
+    (list r1 r2 r3)|}
+
+let deopt_cases =
+  [
+    case "set! of fused primitive deoptimizes [stack]" (fun () ->
+        Alcotest.(check string) "results" "(3 12 6)"
+          (eval ~peephole:true deopt_src));
+    case "set! of fused primitive deoptimizes [heap]" (fun () ->
+        Alcotest.(check string) "results" "(3 12 6)"
+          (eval ~backend:Scheme.Heap ~peephole:true deopt_src));
+    case "deopt counter ticks on cache miss" (fun () ->
+        let n =
+          eval ~peephole:true
+            {|(define (f x y) (+ x y))
+              (f 1 2)
+              (set! + *)
+              (f 3 4)
+              (%stat 'prim-deopts)|}
+        in
+        Alcotest.(check bool) "prim-deopts > 0" true (int_of_string n > 0));
+    case "fast-path counter ticks on cache hit" (fun () ->
+        let n =
+          eval ~peephole:true
+            "(define (f x y) (+ x y)) (f 1 2) (%stat 'prim-fast)"
+        in
+        Alcotest.(check bool) "prim-fast > 0" true (int_of_string n > 0));
+    case "no fused sites when peephole is off" (fun () ->
+        let n =
+          eval ~peephole:false
+            "(define (f x y) (+ x y)) (f 1 2) (%stat 'prim-fast)"
+        in
+        Alcotest.(check string) "prim-fast" "0" n);
+    case "redefinition to a closure deoptimizes [stack]" (fun () ->
+        (* The deopt path must handle a non-primitive binding too. *)
+        Alcotest.(check string) "results" "(3 list)"
+          (eval ~peephole:true
+             {|(define (f x y) (+ x y))
+               (define r1 (f 1 2))
+               (set! + (lambda (a b) 'list))
+               (list r1 (f 3 4))|}));
+    case "deopt in tail position [stack]" (fun () ->
+        Alcotest.(check string) "results" "12"
+          (eval ~peephole:true
+             {|(define (g x y) (+ x y))
+               (g 1 2)
+               (set! + *)
+               (g 3 4)|}));
+  ]
+
+(* Accumulator liveness: push fusion must not fire when the value is
+   still needed in the accumulator (e.g. a branch testing a [set!]'d
+   value, or a [begin] whose last write flows into the test). *)
+let liveness_cases =
+  [
+    case "branch reads acc after assignment" (fun () ->
+        Alcotest.(check string) "value" "5"
+          (eval ~peephole:true
+             "(let ((x 0)) (if (begin (set! x 5) x) x 'no))"));
+    case "let-bound constant feeding a branch" (fun () ->
+        Alcotest.(check string) "value" "yes"
+          (eval ~peephole:true "(let ((x #t)) (if x 'yes 'no))"));
+    case "nested lets with shadowing agree" (fun () ->
+        let src =
+          "(let ((x 1)) (let ((y (+ x 1))) (let ((x (* y 2))) (- x y))))"
+        in
+        Alcotest.(check string)
+          src
+          (eval ~peephole:false src)
+          (eval ~peephole:true src));
+  ]
+
+(* The pass must actually shrink the dispatched-instruction stream (the
+   whole point of the PR): fib runs in >=20% fewer instructions. *)
+let reduction_cases =
+  [
+    case "fused fib dispatches >=20% fewer instructions" (fun () ->
+        let count peephole =
+          int_of_string
+            (eval ~corpus:true ~peephole "(fib 13) (%stat 'instrs)")
+        in
+        let off = count false and on = count true in
+        if not (float_of_int on <= 0.8 *. float_of_int off) then
+          Alcotest.failf "expected >=20%% drop, got %d -> %d" off on);
+    case "disassembly shows fused opcodes" (fun () ->
+        let s = Scheme.create () in
+        let codes =
+          Compiler.compile_string (Scheme.globals s)
+            "(define (h n) (+ n 1))"
+        in
+        let text =
+          String.concat "\n" (List.map Bytecode.disassemble_deep codes)
+        in
+        Alcotest.(check bool) "prim-call present" true
+          (Tutil.contains ~sub:"prim-" text));
+  ]
+
+let suite =
+  differential_cases @ deopt_cases @ liveness_cases @ reduction_cases
