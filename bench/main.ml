@@ -18,10 +18,25 @@
 
 let fuel = max_int
 
-let time_ms f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+let iters = ref 1
+(** [--iters N]: repeat every timed measurement [N] times.  Each timing
+    reports the minimum (the headline number: least interference) and the
+    median (robustness check).  The [reset] hook runs before each
+    iteration so deterministic counters always reflect exactly one run. *)
+
+let time_ms ?(reset = ignore) f =
+  let n = max 1 !iters in
+  let samples = Array.make n 0.0 in
+  let result = ref None in
+  for i = 0 to n - 1 do
+    reset ();
+    let t0 = Unix.gettimeofday () in
+    result := Some (f ());
+    samples.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
+  done;
+  Array.sort compare samples;
+  let r = match !result with Some r -> r | None -> assert false in
+  (r, samples.(0), samples.(n / 2))
 
 let session ?(config = Control.default_config) () =
   let stats = Stats.create () in
@@ -60,8 +75,15 @@ let stat_metrics (st : Stats.t) =
     ("cache_hits", J_int st.Stats.cache_hits);
   ]
 
-let record_run ?(extra = []) name ms (st : Stats.t) =
-  record name ((("ms", J_float ms) :: stat_metrics st) @ extra)
+let record_run ?(extra = []) ?median name ms (st : Stats.t) =
+  let timing =
+    ("ms", J_float ms)
+    ::
+    (match median with
+    | Some m when !iters > 1 -> [ ("ms_median", J_float m) ]
+    | _ -> [])
+  in
+  record name ((timing @ stat_metrics st) @ extra)
 
 let write_json ~full path =
   let buf = Buffer.create 4096 in
@@ -69,6 +91,7 @@ let write_json ~full path =
   Buffer.add_string buf "  \"schema\": \"oneshot-bench/v1\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"mode\": %S,\n" (if full then "full" else "quick"));
+  Buffer.add_string buf (Printf.sprintf "  \"iters\": %d,\n" !iters);
   Buffer.add_string buf "  \"experiments\": {\n";
   let entries = List.rev !json_records in
   let n = List.length entries in
@@ -102,14 +125,15 @@ let e1 ~full () =
     let s, stats = session () in
     run s (Printf.sprintf "(set! ctak-capture %s)" op);
     run s (Printf.sprintf "(ctak %d %d %d)" (x - 2) (y - 2) (z - 1));
-    Stats.reset stats;
-    let _, ms =
-      time_ms (fun () -> run s (Printf.sprintf "(ctak %d %d %d)" x y z))
+    let _, ms, med =
+      time_ms
+        ~reset:(fun () -> Stats.reset stats)
+        (fun () -> run s (Printf.sprintf "(ctak %d %d %d)" x y z))
     in
-    (ms, Stats.copy stats)
+    (ms, med, Stats.copy stats)
   in
-  let ms_cc, st_cc = measure "%call/cc" in
-  let ms_1cc, st_1cc = measure "%call/1cc" in
+  let ms_cc, med_cc, st_cc = measure "%call/cc" in
+  let ms_1cc, med_1cc, st_1cc = measure "%call/1cc" in
   Printf.printf "  workload: (ctak %d %d %d)\n" x y z;
   Printf.printf "  %-10s %10s %12s %12s %12s\n" "operator" "time(ms)"
     "captures" "copied(w)" "alloc(w)";
@@ -123,8 +147,9 @@ let e1 ~full () =
   let captures (st : Stats.t) =
     ("captures", J_int (st.captures_multi + st.captures_oneshot))
   in
-  record_run "e1.callcc" ms_cc st_cc ~extra:[ captures st_cc ];
-  record_run "e1.call1cc" ms_1cc st_1cc ~extra:[ captures st_1cc ];
+  record_run "e1.callcc" ms_cc st_cc ~median:med_cc ~extra:[ captures st_cc ];
+  record_run "e1.call1cc" ms_1cc st_1cc ~median:med_1cc
+    ~extra:[ captures st_1cc ];
   Printf.printf
     "  call/1cc: %.0f%% faster, %.0f%% less stack allocation (paper: 13%% \
      faster, 23%% less memory)\n"
@@ -143,6 +168,7 @@ let e2 ~full () =
   let thread_counts = if full then [ 10; 100; 1000 ] else [ 10; 100 ] in
   let freqs = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
   let total_cps = ref 0. and total_cc = ref 0. and total_1cc = ref 0. in
+  let med_cps = ref 0. and med_cc = ref 0. and med_1cc = ref 0. in
   Printf.printf
     "  each thread computes (fib %d); times in ms (paper: DEC Alpha ms)\n"
     fib_n;
@@ -154,20 +180,20 @@ let e2 ~full () =
         (fun freq ->
           let run_one src =
             let s, _ = session () in
-            let _, ms = time_ms (fun () -> run s src) in
-            ms
+            let _, ms, med = time_ms (fun () -> run s src) in
+            (ms, med)
           in
-          let cps =
+          let cps, cps_m =
             run_one
               (Printf.sprintf "(run-cps-fib-threads %d %d %d)" nthreads fib_n
                  freq)
           in
-          let cc =
+          let cc, cc_m =
             run_one
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/cc)" nthreads
                  fib_n freq)
           in
-          let c1 =
+          let c1, c1_m =
             run_one
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/1cc)" nthreads
                  fib_n freq)
@@ -175,12 +201,20 @@ let e2 ~full () =
           total_cps := !total_cps +. cps;
           total_cc := !total_cc +. cc;
           total_1cc := !total_1cc +. c1;
+          med_cps := !med_cps +. cps_m;
+          med_cc := !med_cc +. cc_m;
+          med_1cc := !med_1cc +. c1_m;
           Printf.printf "  %8d %12.1f %12.1f %12.1f\n" freq cps cc c1)
         freqs)
     thread_counts;
-  record "e2.cps" [ ("ms", J_float !total_cps) ];
-  record "e2.callcc" [ ("ms", J_float !total_cc) ];
-  record "e2.call1cc" [ ("ms", J_float !total_1cc) ];
+  let e2_record name total med =
+    record name
+      (("ms", J_float total)
+      :: (if !iters > 1 then [ ("ms_median", J_float med) ] else []))
+  in
+  e2_record "e2.cps" !total_cps !med_cps;
+  e2_record "e2.callcc" !total_cc !med_cc;
+  e2_record "e2.call1cc" !total_1cc !med_1cc;
   note
     "  expected shape: CPS wins only for switches more frequent than about\n\
     \  once every 4-8 calls; call/1cc <= call/cc everywhere; the advantage\n\
@@ -208,20 +242,21 @@ let e3 ~full () =
     in
     let s, stats = session ~config () in
     run s (Printf.sprintf "(deep-loop 2 %d)" depth);
-    Stats.reset stats;
-    let _, ms =
-      time_ms (fun () -> run s (Printf.sprintf "(deep-loop %d %d)" iters depth))
+    let _, ms, med =
+      time_ms
+        ~reset:(fun () -> Stats.reset stats)
+        (fun () -> run s (Printf.sprintf "(deep-loop %d %d)" iters depth))
     in
     Printf.printf "  %-22s %10.1f %10d %12d %12d %10d\n" name ms
       stats.Stats.overflows stats.Stats.words_copied
       stats.Stats.seg_alloc_words stats.Stats.cache_hits;
-    (ms, Stats.copy stats)
+    (ms, med, Stats.copy stats)
   in
-  let ms1, st1 = measure Control.As_call1cc "implicit call/1cc" in
-  let ms2, st2 = measure Control.As_callcc "implicit call/cc" in
-  record_run "e3.overflow-call1cc" ms1 st1
+  let ms1, med1, st1 = measure Control.As_call1cc "implicit call/1cc" in
+  let ms2, med2, st2 = measure Control.As_callcc "implicit call/cc" in
+  record_run "e3.overflow-call1cc" ms1 st1 ~median:med1
     ~extra:[ ("overflows", J_int st1.Stats.overflows) ];
-  record_run "e3.overflow-callcc" ms2 st2
+  record_run "e3.overflow-callcc" ms2 st2 ~median:med2
     ~extra:[ ("overflows", J_int st2.Stats.overflows) ];
   Printf.printf
     "  one-shot overflow: %.0fx less copying, %.0fx less allocation, %.0f%% \
@@ -272,15 +307,17 @@ let e4 ~full () =
   List.iter
     (fun (name, src) ->
       let s, st = session () in
-      Stats.reset st;
-      let _, ms_s = time_ms (fun () -> run s src) in
+      let _, ms_s, _ =
+        time_ms ~reset:(fun () -> Stats.reset st) (fun () -> run s src)
+      in
       let calls = float_of_int (max 1 st.Stats.calls) in
       let stack_w = float_of_int st.Stats.seg_alloc_words /. calls in
       let stack_copied = float_of_int st.Stats.words_copied /. calls in
       let stack_clos = float_of_int st.Stats.closures_made /. calls in
       let h, hst = heap_session () in
-      Stats.reset hst;
-      let _, ms_h = time_ms (fun () -> run h src) in
+      let _, ms_h, _ =
+        time_ms ~reset:(fun () -> Stats.reset hst) (fun () -> run h src)
+      in
       let hcalls = float_of_int (max 1 hst.Stats.calls) in
       let heap_w = float_of_int hst.Stats.heap_frame_words /. hcalls in
       let heap_cow = float_of_int hst.Stats.cow_copies /. hcalls in
@@ -341,9 +378,10 @@ let a1 ~full () =
         { Control.default_config with Control.cache_enabled = enabled }
       in
       let s, stats = session ~config () in
-      Stats.reset stats;
-      let _, ms =
-        time_ms (fun () ->
+      let _, ms, med =
+        time_ms
+          ~reset:(fun () -> Stats.reset stats)
+          (fun () ->
             run s
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/1cc)" nthreads
                  fib_n freq))
@@ -354,7 +392,7 @@ let a1 ~full () =
         stats.Stats.cache_hits;
       record_run
         (if enabled then "a1.cache-on" else "a1.cache-off")
-        ms stats
+        ms stats ~median:med
         ~extra:[ ("seg_allocs", J_int stats.Stats.seg_allocs) ])
     [ true; false ]
 
@@ -382,15 +420,16 @@ let a2 ~full () =
         {|(define (wiggle n) (if (= n 0) 0 (+ 1 (wiggle (- n 1)))))
           (define (crawl n)
             (if (= n 0) 0 (begin (wiggle 12) (+ 1 (crawl (- n 1))))))|};
-      Stats.reset stats;
-      let _, ms =
-        time_ms (fun () -> run s (Printf.sprintf "(crawl %d)" depth))
+      let _, ms, med =
+        time_ms
+          ~reset:(fun () -> Stats.reset stats)
+          (fun () -> run s (Printf.sprintf "(crawl %d)" depth))
       in
       Printf.printf "  %-18d %10.1f %10d %12d\n" h ms stats.Stats.overflows
         stats.Stats.words_copied;
       record_run
         (Printf.sprintf "a2.hysteresis-%d" h)
-        ms stats
+        ms stats ~median:med
         ~extra:[ ("overflows", J_int stats.Stats.overflows) ])
     [ 0; 16; 64; 256 ]
 
@@ -516,8 +555,11 @@ let a5 ~full () =
              (define (measure)
                (nest %d (lambda () (%%call/cc (lambda (m) 0)))))|}
            chain);
-      Stats.reset stats;
-      let _, ms = time_ms (fun () -> run s "(measure)") in
+      let _, ms, _ =
+        time_ms
+          ~reset:(fun () -> Stats.reset stats)
+          (fun () -> run s "(measure)")
+      in
       Printf.printf "  %-14s %12.1f %12d\n" name (ms *. 1000.)
         stats.Stats.promotions;
       record
@@ -545,9 +587,10 @@ let a6 ~full () =
       let s, stats = session ~config () in
       run s "(set! ctak-capture %call/cc)";
       run s (Printf.sprintf "(ctak %d %d %d)" (x - 2) (y - 2) (z - 1));
-      Stats.reset stats;
-      let _, ms =
-        time_ms (fun () -> run s (Printf.sprintf "(ctak %d %d %d)" x y z))
+      let _, ms, med =
+        time_ms
+          ~reset:(fun () -> Stats.reset stats)
+          (fun () -> run s (Printf.sprintf "(ctak %d %d %d)" x y z))
       in
       (* under Seal, all copying happens at invocation; under
          Copy_on_capture, words_copied counts both directions -- report
@@ -564,7 +607,7 @@ let a6 ~full () =
         (match strategy with
         | Control.Seal -> "a6.seal"
         | Control.Copy_on_capture -> "a6.copy-on-capture")
-        ms stats)
+        ms stats ~median:med)
     [ ("seal (paper)", Control.Seal); ("copy-on-capture", Control.Copy_on_capture) ]
 
 (* ------------------------------------------------------------------ *)
@@ -639,15 +682,31 @@ let () =
     | [] -> None
   in
   let json = json_path argv in
+  let rec iters_arg = function
+    | "--iters" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> k
+        | _ ->
+            Printf.eprintf "--iters expects a positive integer, got %s\n" n;
+            exit 1)
+    | _ :: rest -> iters_arg rest
+    | [] -> 1
+  in
+  iters := iters_arg argv;
   let rec positional = function
     | [] -> []
     | "--full" :: rest -> positional rest
     | "--json" :: _ :: rest -> positional rest
+    | "--iters" :: _ :: rest -> positional rest
     | x :: rest -> x :: positional rest
   in
   let which = match positional argv with [] -> "all" | x :: _ -> x in
-  Printf.printf "oneshot-continuations benchmark harness (%s mode)\n"
-    (if full then "full/paper-scale" else "quick");
+  Printf.printf "oneshot-continuations benchmark harness (%s mode%s)\n"
+    (if full then "full/paper-scale" else "quick")
+    (if !iters > 1 then
+       Printf.sprintf ", %d iterations/measurement, reporting min + median"
+         !iters
+     else "");
   (match which with
   | "e1" -> e1 ~full ()
   | "e2" -> e2 ~full ()

@@ -257,7 +257,10 @@ let rec gen globals e tail exp =
       ignore
         (emit e
            (if tail then Rt.Tail_call { disp = d; nargs }
-            else Rt.Call { disp = d; nargs }))
+            else
+              (* [cs_ret] is interned by [Bytecode.backpatch] once the
+                 enclosing code object exists. *)
+              Rt.Call { cs_disp = d; cs_nargs = nargs; cs_ret = Rt.Void }))
 
 (* Compile one lambda to a code object plus the ordered list of bindings
    its closure must capture from the enclosing frame. *)
@@ -348,7 +351,7 @@ let compile_eval ?menv globals (datum : Rt.value) : Rt.code =
                [ Rt.Tail_call { disp = d; nargs = 0 };
                  Rt.Local_set (d + 1); Rt.Const clos ]
              else
-               [ Rt.Call { disp = d; nargs = 0 };
+               [ Rt.Call { cs_disp = d; cs_nargs = 0; cs_ret = Rt.Void };
                  Rt.Local_set (d + 1); Rt.Const clos ])
             @ !instrs)
         codes;

@@ -267,7 +267,8 @@ let fuse_prim_calls instrs =
           else if arg_push_ok ~callee_slot:dst instrs.(j) then scan (j + 1)
           else
             match instrs.(j) with
-            | (Rt.Call { disp; nargs } | Rt.Tail_call { disp; nargs })
+            | ( Rt.Call { cs_disp = disp; cs_nargs = nargs; _ }
+              | Rt.Tail_call { disp; nargs } )
               when disp + 1 = dst && replace.(j) = None -> (
                 match pure_target g nargs with
                 | Some (pv, p, fn) ->
@@ -279,6 +280,7 @@ let fuse_prim_calls instrs =
                         ps_guard = pv;
                         ps_prim = p;
                         ps_fn = fn;
+                        ps_ret = Rt.Void (* interned by Bytecode.backpatch *);
                       }
                     in
                     let call =
@@ -311,18 +313,51 @@ let fuse_prim_calls instrs =
   map.(n) <- !outlen;
   remap_branches map (Array.of_list (List.rev !out))
 
+(* Stage 3: branch fusion.  A [Branch_false] consuming the value of the
+   instruction right before it fuses INTO that producer — but the
+   [Branch_false] itself stays in the array, jumped over by the fused
+   form.  Keeping it makes the rewrite purely local: no pc renumbering,
+   branches into either instruction of the pair keep their exact
+   unfused semantics, and a deopted [Prim_branch*] (or an error handler
+   that returns a replacement value) resumes at the retained branch,
+   which then tests the returned value just as the unfused sequence
+   would.  Runs after the renumbering stages so the fused forms never
+   need remapping. *)
+let fuse_branches instrs =
+  let n = Array.length instrs in
+  Array.mapi
+    (fun pc i ->
+      if pc + 1 < n then
+        match (i, instrs.(pc + 1)) with
+        | Rt.Local_ref s, Rt.Branch_false t -> Rt.Local_branch_false (s, t)
+        | Rt.Prim_call1 site, Rt.Branch_false t -> Rt.Prim_branch1 (site, t)
+        | Rt.Prim_call2 site, Rt.Branch_false t -> Rt.Prim_branch2 (site, t)
+        | _ -> i
+      else i)
+    instrs
+
 (* Fuse one code object and, recursively, every code object it closes
    over.  Frame layout, arity, and [frame_words] are unchanged: fusion
-   only merges dispatches. *)
+   only merges dispatches.
+
+   Fusion renumbers pcs, so the static return addresses interned by
+   [Bytecode.backpatch] at [make_code] time are stale: surviving [Call]
+   sites are re-created fresh (never shared with the pre-fusion array,
+   whose backpatched [cs_ret] still describes the old numbering) and the
+   fused code object is re-backpatched as the final step. *)
 let rec peephole (c : Rt.code) : Rt.code =
-  let instrs = fuse_prim_calls (fuse_pushes c.Rt.instrs) in
+  let instrs = fuse_branches (fuse_prim_calls (fuse_pushes c.Rt.instrs)) in
   let instrs =
     Array.map
       (function
         | Rt.Make_closure (cc, caps) -> Rt.Make_closure (peephole cc, caps)
+        | Rt.Call { cs_disp; cs_nargs; _ } ->
+            Rt.Call { cs_disp; cs_nargs; cs_ret = Rt.Void }
         | i -> i)
       instrs
   in
-  { c with Rt.instrs }
+  let c' = { c with Rt.instrs } in
+  Bytecode.backpatch c';
+  c'
 
 let peephole_program codes = List.map peephole codes

@@ -43,23 +43,43 @@ type t = {
 (* Segment allocation and the segment cache (paper Section 3.2)        *)
 (* ------------------------------------------------------------------ *)
 
+(* Oversized requests (multi-shot reinstatement of a big record, overflow
+   with a huge frame) are rounded up to a multiple of [seg_words], so the
+   arrays they allocate have recyclable sizes: [release_segment] accepts
+   any array of at least [seg_words] and [alloc_segment] finds the first
+   cached array big enough (first-fit, preserving cache order).  Without
+   the rounding every oversized allocation was a one-off the cache could
+   never serve again. *)
+let seg_request m words =
+  let sw = m.cfg.seg_words in
+  if words <= sw then sw else (words + sw - 1) / sw * sw
+
 let alloc_segment m words =
-  let words = max words m.cfg.seg_words in
-  match m.cache with
-  | seg :: rest when m.cfg.cache_enabled && words <= Array.length seg ->
-      m.cache <- rest;
-      m.cache_len <- m.cache_len - 1;
-      m.stats.cache_hits <- m.stats.cache_hits + 1;
-      seg
-  | _ ->
-      m.stats.seg_allocs <- m.stats.seg_allocs + 1;
-      m.stats.seg_alloc_words <- m.stats.seg_alloc_words + words;
-      Array.make words Void
+  let words = seg_request m words in
+  let fresh () =
+    m.stats.seg_allocs <- m.stats.seg_allocs + 1;
+    m.stats.seg_alloc_words <- m.stats.seg_alloc_words + words;
+    Array.make words Void
+  in
+  if not m.cfg.cache_enabled then fresh ()
+  else
+    (* First-fit scan: the head matches immediately in the common case
+       (default-sized request, default-sized cached segments). *)
+    let rec take skipped = function
+      | seg :: rest when words <= Array.length seg ->
+          m.cache <- List.rev_append skipped rest;
+          m.cache_len <- m.cache_len - 1;
+          m.stats.cache_hits <- m.stats.cache_hits + 1;
+          seg
+      | seg :: rest -> take (seg :: skipped) rest
+      | [] -> fresh ()
+    in
+    take [] m.cache
 
 let release_segment m seg =
   if
     m.cfg.cache_enabled
-    && Array.length seg = m.cfg.seg_words
+    && Array.length seg >= m.cfg.seg_words
     && m.cache_len < m.cfg.cache_max
   then begin
     m.cache <- seg :: m.cache;

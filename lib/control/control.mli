@@ -113,6 +113,22 @@ val clear_cache : t -> unit
 (** Drop every cached segment (the paper lets the storage manager discard
     cached stacks at collection time). *)
 
+val seg_request : t -> int -> int
+(** Number of words a request for [n] words actually allocates: at least
+    [seg_words], and oversized requests rounded up to a multiple of
+    [seg_words] so the resulting arrays remain recyclable through the
+    cache. *)
+
+val alloc_segment : t -> int -> Rt.value array
+(** Draw a segment of at least [seg_request m n] words: first-fit from the
+    cache (counting a [cache_hits]), else freshly allocated (counting
+    [seg_allocs]/[seg_alloc_words]). *)
+
+val release_segment : t -> Rt.value array -> unit
+(** Offer an abandoned segment to the cache.  Accepted (counting a
+    [cache_releases]) when caching is enabled, the array is at least
+    [seg_words] long and the cache is below [cache_max]. *)
+
 val ensure_room : t -> live_top:int -> need:int -> unit
 (** Guarantee [need] words of space above [fp], treating exhaustion as an
     implicit continuation capture per the overflow policy.  [live_top] is

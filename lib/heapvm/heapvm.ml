@@ -347,14 +347,15 @@ let step vm =
       vm.acc <- Closure { code; frees }
   | Branch pc -> vm.pc <- pc
   | Branch_false pc -> if not (Values.is_truthy vm.acc) then vm.pc <- pc
-  | Call { disp; nargs } ->
+  | Call { cs_disp = disp; cs_nargs = nargs; cs_ret } ->
       let slots = vm.frame.hslots in
       let f = slots.(disp + 1) in
       let args = Array.init nargs (fun i -> slots.(disp + 2 + i)) in
       vm.stats.Stats.frames <- vm.stats.Stats.frames + 1;
-      happly vm f args
-        ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp })
-        ~parent:(Some vm.frame) ~guards:[]
+      (* [cs_ret] is the statically interned return address of this site
+         (rcode = the running code object, rpc = the fall-through pc);
+         the heap VM ignores [rdisp]. *)
+      happly vm f args ~ret:cs_ret ~parent:(Some vm.frame) ~guards:[]
   | Tail_call { disp; nargs } ->
       let cur = vm.frame in
       let slots = cur.hslots in
@@ -401,10 +402,39 @@ let step vm =
         let base = site.ps_disp + 2 in
         let args = Array.init site.ps_nargs (fun i -> slots.(base + i)) in
         vm.stats.Stats.frames <- vm.stats.Stats.frames + 1;
-        happly vm g.gval args
-          ~ret:
-            (Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = site.ps_disp })
-          ~parent:(Some vm.frame) ~guards:[]
+        happly vm g.gval args ~ret:site.ps_ret ~parent:(Some vm.frame)
+          ~guards:[]
+      end
+  | Local_branch_false (i, t) ->
+      (* Fused Local_ref + Branch_false; the retained branch at the
+         already-incremented [vm.pc] is skipped on fall-through. *)
+      let v = vm.frame.hslots.(i) in
+      vm.acc <- v;
+      vm.pc <- (if Values.is_truthy v then vm.pc + 1 else t)
+  | Prim_branch1 (site, t) | Prim_branch2 (site, t) ->
+      if site.ps_global.gval == site.ps_guard then begin
+        vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+        vm.stats.Stats.prim_fast <- vm.stats.Stats.prim_fast + 1;
+        let slots = vm.frame.hslots in
+        let base = site.ps_disp + 2 in
+        let v =
+          site.ps_fn (Array.init site.ps_nargs (fun i -> slots.(base + i)))
+        in
+        vm.acc <- v;
+        vm.pc <- (if Values.is_truthy v then vm.pc + 1 else t)
+      end
+      else begin
+        (* Deopt: the generic call returns into the retained
+           [Branch_false] via [ps_ret], which re-tests the result. *)
+        vm.stats.Stats.prim_deopts <- vm.stats.Stats.prim_deopts + 1;
+        let g = site.ps_global in
+        if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+        let slots = vm.frame.hslots in
+        let base = site.ps_disp + 2 in
+        let args = Array.init site.ps_nargs (fun i -> slots.(base + i)) in
+        vm.stats.Stats.frames <- vm.stats.Stats.frames + 1;
+        happly vm g.gval args ~ret:site.ps_ret ~parent:(Some vm.frame)
+          ~guards:[]
       end
   | Prim_tail_call site ->
       if site.ps_global.gval == site.ps_guard then begin

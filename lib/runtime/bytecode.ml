@@ -1,7 +1,61 @@
 open Rt
 
+(* ------------------------------------------------------------------ *)
+(* Validation: the dispatch loop fetches instructions with              *)
+(* [Array.unsafe_get], so every code object must be closed under pc     *)
+(* arithmetic: non-empty, all branch targets in range, and a final      *)
+(* instruction that unconditionally transfers control (falling off the  *)
+(* end is impossible).  Checked once at construction, never at runtime. *)
+(* ------------------------------------------------------------------ *)
+
+let transfers_control = function
+  | Return | Halt | Branch _ | Tail_call _ | Prim_tail_call _ -> true
+  | _ -> false
+
+let validate ~name instrs =
+  let n = Array.length instrs in
+  if n = 0 then invalid_arg (name ^ ": empty instruction stream");
+  if not (transfers_control instrs.(n - 1)) then
+    invalid_arg (name ^ ": code can fall off the end of the instruction stream");
+  Array.iter
+    (function
+      | Branch t | Branch_false t
+      | Local_branch_false (_, t)
+      | Prim_branch1 (_, t)
+      | Prim_branch2 (_, t) ->
+          if t < 0 || t >= n then
+            invalid_arg (Printf.sprintf "%s: branch target %d out of range" name t)
+      | _ -> ())
+    instrs
+
+(* Intern one [Retaddr] per return point into the instruction stream.
+   [rcode]/[rpc]/[rdisp] are all per-site constants, so non-tail calls
+   (and the deopt path of fused primitive calls) push this value instead
+   of allocating a fresh record per call.  Must be re-run whenever an
+   instruction array is renumbered (e.g. after peephole fusion). *)
+let backpatch code =
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Call site ->
+          site.cs_ret <-
+            Retaddr { rcode = code; rpc = pc + 1; rdisp = site.cs_disp }
+      | Prim_call site | Prim_call1 site | Prim_call2 site
+      | Prim_branch1 (site, _)
+      | Prim_branch2 (site, _) ->
+          (* For the branch-fused forms, [pc + 1] is the retained
+             [Branch_false]: a deopted call returns into it and the branch
+             re-executes on the returned value. *)
+          site.ps_ret <-
+            Retaddr { rcode = code; rpc = pc + 1; rdisp = site.ps_disp }
+      | _ -> ())
+    code.instrs
+
 let make_code ~name ~arity ~frame_words instrs =
-  { instrs; cname = name; arity; frame_words }
+  validate ~name instrs;
+  let code = { instrs; cname = name; arity; frame_words } in
+  backpatch code;
+  code
 
 let arity_matches arity n =
   match arity with Exactly k -> n = k | At_least k -> n >= k
@@ -32,7 +86,8 @@ let instr_to_string = function
         (String.concat " " (Array.to_list (Array.map cap_to_string caps)))
   | Branch pc -> Printf.sprintf "branch %d" pc
   | Branch_false pc -> Printf.sprintf "branch-false %d" pc
-  | Call { disp; nargs } -> Printf.sprintf "call disp=%d nargs=%d" disp nargs
+  | Call { cs_disp; cs_nargs; _ } ->
+      Printf.sprintf "call disp=%d nargs=%d" cs_disp cs_nargs
   | Tail_call { disp; nargs } ->
       Printf.sprintf "tail-call disp=%d nargs=%d" disp nargs
   | Return -> "return"
@@ -53,6 +108,12 @@ let instr_to_string = function
   | Prim_tail_call s ->
       Printf.sprintf "prim-tail-call %s disp=%d nargs=%d" s.ps_prim.pname
         s.ps_disp s.ps_nargs
+  | Local_branch_false (i, t) ->
+      Printf.sprintf "local-branch-false %d %d" i t
+  | Prim_branch1 (s, t) ->
+      Printf.sprintf "prim-branch1 %s disp=%d %d" s.ps_prim.pname s.ps_disp t
+  | Prim_branch2 (s, t) ->
+      Printf.sprintf "prim-branch2 %s disp=%d %d" s.ps_prim.pname s.ps_disp t
 
 let disassemble code =
   let buf = Buffer.create 256 in

@@ -6,6 +6,18 @@ val make_code :
   frame_words:int ->
   Rt.instr array ->
   Rt.code
+(** Validates the instruction stream (non-empty, branch targets in range,
+    final instruction transfers control — the invariants that make the
+    VM's [Array.unsafe_get] instruction fetch sound) and interns the
+    static return address of every call site via {!backpatch}.
+    @raise Invalid_argument on malformed code. *)
+
+val backpatch : Rt.code -> unit
+(** Intern one [Rt.Retaddr] per non-tail call site ([Call] and the deopt
+    path of [Prim_call]/[Prim_call1]/[Prim_call2]) into the instruction
+    stream, making the return-address push at call time allocation-free.
+    Re-run this after any pass that renumbers an instruction array (the
+    peephole fuser does). *)
 
 val arity_matches : Rt.arity -> int -> bool
 (** Does a call with [n] arguments satisfy the arity? *)

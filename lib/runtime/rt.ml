@@ -73,9 +73,9 @@ and instr =
   | Make_closure of code * capture array
   | Branch of int                        (* absolute pc *)
   | Branch_false of int
-  | Call of { disp : int; nargs : int }  (* callee at frame.(disp+nargs+1),
-                                            args at frame.(disp+1 ..); pushes
-                                            Retaddr at frame.(disp) *)
+  | Call of call_site                    (* callee at frame.(disp+1), args at
+                                            frame.(disp+2 ..); pushes the
+                                            interned Retaddr at frame.(disp) *)
   | Tail_call of { disp : int; nargs : int } (* args at frame.(disp+1 ..),
                                             callee at frame.(disp+nargs+1);
                                             shifts args down to frame.(1..) *)
@@ -104,6 +104,30 @@ and instr =
   | Prim_call1 of prim_site              (* fixed-arity fast variants *)
   | Prim_call2 of prim_site
   | Prim_tail_call of prim_site          (* tail call: acc := result; return *)
+  (* Branch fusion: a conditional that consumes a just-produced value
+     collapses into its producer.  The original [Branch_false] is left in
+     place at the following pc and the fused form jumps over it, so branch
+     targets need no remapping, and the deopt / error-handler resume paths
+     of the fused primitives — whose interned [ps_ret] addresses [pc + 1] —
+     re-execute that branch on the returned value, exactly as the unfused
+     sequence would. *)
+  | Local_branch_false of int * int      (* acc := frame.(i); branch if false *)
+  | Prim_branch1 of prim_site * int      (* Prim_call1 + Branch_false *)
+  | Prim_branch2 of prim_site * int      (* Prim_call2 + Branch_false *)
+
+(* A non-tail call site.  [cs_ret] is the site's return address, interned
+   once by [Bytecode.backpatch] right after the enclosing code object is
+   built (and re-interned after peephole fusion renumbers pcs): all three
+   [retaddr] fields are per-site constants, so non-tail calls push a
+   pre-allocated value instead of allocating one per call — the paper's
+   "return address lives in the code stream next to the frame-size word"
+   layout.  [Void] only transiently, between construction and backpatch. *)
+and call_site = {
+  cs_disp : int;                         (* frame displacement of the call
+                                            area (the callee's fp) *)
+  cs_nargs : int;
+  mutable cs_ret : value;                (* interned [Retaddr] *)
+}
 
 and prim_site = {
   ps_disp : int;                         (* frame displacement of the call
@@ -114,6 +138,9 @@ and prim_site = {
                                             compile time (physical witness) *)
   ps_prim : prim;                        (* same prim, for disassembly *)
   ps_fn : value array -> value;          (* its pure entry point *)
+  mutable ps_ret : value;                (* interned [Retaddr] for the
+                                            non-tail deopt path, backpatched
+                                            like [call_site.cs_ret] *)
 }
 
 and capture = Cap_local of int | Cap_free of int

@@ -94,10 +94,30 @@ let do_return vm =
 let prim_args vm seg base nargs =
   if nargs <= max_scratch then begin
     let args = vm.scratch.(nargs) in
-    Array.blit seg base args 0 nargs;
+    for i = 0 to nargs - 1 do
+      Array.unsafe_set args i seg.(base + i)
+    done;
     args
   end
   else Array.init nargs (fun i -> seg.(base + i))
+
+(* Move [n] argument slots within one segment ([dst] strictly below
+   [src], so an ascending copy is safe).  Small counts dominate; avoid
+   the [caml_array_blit] call for them. *)
+let[@inline] blit_args seg src dst n =
+  if n = 1 then seg.(dst) <- seg.(src)
+  else if n = 2 then begin
+    seg.(dst) <- seg.(src);
+    seg.(dst + 1) <- seg.(src + 1)
+  end
+  else if n > 0 then Array.blit seg src seg dst n
+
+(* Build [seg.(base) :: ... :: seg.(base + i) :: acc] without an
+   intermediate array (multiple-values construction). *)
+let rec collect_list seg base i acc =
+  if i < 0 then acc else collect_list seg base (i - 1) (seg.(base + i) :: acc)
+
+let empty_mvals = Mvals []
 
 (* Apply [f] whose frame starts at [nfp] (return slot already correct and
    arguments at [nfp+2 ..]).  Used for both non-tail calls (fresh return
@@ -139,7 +159,9 @@ and invoke_continuation vm c nfp nargs =
   let seg = m.Control.sr.seg in
   let v =
     if nargs = 1 then seg.(nfp + 2)
-    else Mvals (Array.to_list (Array.init nargs (fun i -> seg.(nfp + 2 + i))))
+    else if nargs = 0 then empty_mvals
+    else if nargs = 2 then Mvals [ seg.(nfp + 2); seg.(nfp + 3) ]
+    else Mvals (collect_list seg (nfp + 2) (nargs - 1) [])
   in
   let r = Control.reinstate m c.sr in
   vm.code <- r.rcode;
@@ -166,21 +188,42 @@ and special vm sp nargs =
       tail_apply_2 vm p k
   | Sp_apply ->
       let f = Prims.check_procedure "apply" seg.(fp + 2) in
-      let fixed = Array.init (nargs - 2) (fun i -> seg.(fp + 3 + i)) in
-      let last = Values.list_of_value seg.(fp + 2 + nargs - 1) in
-      let all = Array.append fixed (Array.of_list last) in
-      let n = Array.length all in
-      Control.ensure_room m ~live_top:(fp + 1) ~need:(n + 8);
+      let fixed = nargs - 2 in
+      let lst = seg.(fp + 2 + nargs - 1) in
+      (* Spread the last-argument list in place: count it (validating
+         properness), make room while keeping the whole current frame
+         live, shift the fixed args down one slot, then walk the list a
+         second time writing elements directly into the frame.  No
+         intermediate arrays or list copies. *)
+      let rec spread_len v n =
+        match v with
+        | Nil -> n
+        | Pair p -> spread_len p.cdr (n + 1)
+        | _ -> Values.err "apply: expected a proper list" [ lst ]
+      in
+      let rest = spread_len lst 0 in
+      let n = fixed + rest in
+      Control.ensure_room m ~live_top:(fp + 2 + nargs) ~need:(n + 8);
       let fp = m.Control.fp in
       let seg = m.Control.sr.seg in
       seg.(fp + 1) <- f;
-      Array.blit all 0 seg (fp + 2) n;
+      for i = 0 to fixed - 1 do
+        seg.(fp + 2 + i) <- seg.(fp + 3 + i)
+      done;
+      let rec spread_fill v i =
+        match v with
+        | Pair p ->
+            seg.(i) <- p.car;
+            spread_fill p.cdr (i + 1)
+        | _ -> ()
+      in
+      spread_fill lst (fp + 2 + fixed);
       apply vm f fp n
   | Sp_values ->
       (if nargs = 1 then vm.acc <- seg.(fp + 2)
-       else
-         vm.acc <-
-           Mvals (Array.to_list (Array.init nargs (fun i -> seg.(fp + 2 + i)))));
+       else if nargs = 0 then vm.acc <- empty_mvals
+       else if nargs = 2 then vm.acc <- Mvals [ seg.(fp + 2); seg.(fp + 3) ]
+       else vm.acc <- Mvals (collect_list seg (fp + 2) (nargs - 1) []));
       do_return vm
   | Sp_set_timer ->
       let ticks = Prims.check_int "%set-timer!" seg.(fp + 2) in
@@ -276,210 +319,46 @@ let enter vm =
   end
 
 (* ------------------------------------------------------------------ *)
-(* The dispatch loop                                                   *)
+(* Inline-cache deoptimization                                         *)
 (* ------------------------------------------------------------------ *)
-
-let rec step vm =
-  let m = vm.m in
-  let instr = vm.code.instrs.(vm.pc) in
-  vm.pc <- vm.pc + 1;
-  let stats = m.Control.stats in
-  if stats.Stats.enabled then stats.Stats.instrs <- stats.Stats.instrs + 1;
-  match instr with
-  | Const v -> vm.acc <- v
-  | Local_ref i -> vm.acc <- m.Control.sr.seg.(m.Control.fp + i)
-  | Local_set i -> m.Control.sr.seg.(m.Control.fp + i) <- vm.acc
-  | Box_init i ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      seg.(fp + i) <- Box (ref seg.(fp + i));
-      if stats.Stats.enabled then
-        stats.Stats.boxes_made <- stats.Stats.boxes_made + 1
-  | Box_ref i -> (
-      match m.Control.sr.seg.(m.Control.fp + i) with
-      | Box r -> vm.acc <- !r
-      | v -> Values.err "vm: box-ref of non-box" [ v ])
-  | Box_set i -> (
-      match m.Control.sr.seg.(m.Control.fp + i) with
-      | Box r -> r := vm.acc
-      | v -> Values.err "vm: box-set of non-box" [ v ])
-  | Free_ref i -> (
-      match m.Control.sr.seg.(m.Control.fp + 1) with
-      | Closure c -> vm.acc <- c.frees.(i)
-      | v -> Values.err "vm: free-ref outside closure" [ v ])
-  | Free_box_ref i -> (
-      match m.Control.sr.seg.(m.Control.fp + 1) with
-      | Closure c -> (
-          match c.frees.(i) with
-          | Box r -> vm.acc <- !r
-          | v -> Values.err "vm: free-box-ref of non-box" [ v ])
-      | v -> Values.err "vm: free-box-ref outside closure" [ v ])
-  | Free_box_set i -> (
-      match m.Control.sr.seg.(m.Control.fp + 1) with
-      | Closure c -> (
-          match c.frees.(i) with
-          | Box r -> r := vm.acc
-          | v -> Values.err "vm: free-box-set of non-box" [ v ])
-      | v -> Values.err "vm: free-box-set outside closure" [ v ])
-  | Global_ref g ->
-      if not g.gdefined then
-        Values.err ("unbound variable: " ^ g.gname) [];
-      vm.acc <- g.gval
-  | Global_set g ->
-      if not g.gdefined then
-        Values.err ("set! of unbound variable: " ^ g.gname) [];
-      g.gval <- vm.acc
-  | Global_define g ->
-      g.gval <- vm.acc;
-      g.gdefined <- true
-  | Make_closure (code, caps) ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      let frees =
-        Array.map
-          (function
-            | Cap_local i -> seg.(fp + i)
-            | Cap_free i -> (
-                match seg.(fp + 1) with
-                | Closure c -> c.frees.(i)
-                | v -> Values.err "vm: capture outside closure" [ v ]))
-          caps
-      in
-      if stats.Stats.enabled then
-        stats.Stats.closures_made <- stats.Stats.closures_made + 1;
-      vm.acc <- Closure { code; frees }
-  | Branch pc -> vm.pc <- pc
-  | Branch_false pc -> if not (Values.is_truthy vm.acc) then vm.pc <- pc
-  | Call { disp; nargs } -> (
-      let fp = m.Control.fp in
-      let seg = m.Control.sr.seg in
-      let nfp = fp + disp in
-      match seg.(nfp + 1) with
-      | Prim { pfn = Pure fn; parity; pname } ->
-          (* Pure primitives return straight to the fall-through pc:
-             no return address is written and fp never moves, so the
-             whole call is [arity check; apply; continue]. *)
-          if not (Bytecode.arity_matches parity nargs) then
-            Values.err (pname ^ ": wrong number of arguments") [];
-          if stats.Stats.enabled then
-            stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          vm.acc <- fn (prim_args vm seg (nfp + 2) nargs)
-      | f ->
-          seg.(nfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = disp };
-          if stats.Stats.enabled then
-            stats.Stats.frames <- stats.Stats.frames + 1;
-          apply vm f nfp nargs)
-  | Tail_call { disp; nargs } ->
-      let fp = m.Control.fp in
-      let seg = m.Control.sr.seg in
-      let src = fp + disp in
-      let f = seg.(src + 1) in
-      seg.(fp + 1) <- f;
-      Array.blit seg (src + 2) seg (fp + 2) nargs;
-      apply vm f fp nargs
-  | Return -> do_return vm
-  | Enter -> enter vm
-  | Halt -> vm.halted <- true
-  (* ---- fused superinstructions (emitted by Optimize.peephole) ---- *)
-  | Const_push (v, i) -> m.Control.sr.seg.(m.Control.fp + i) <- v
-  | Local_push (i, j) ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      seg.(fp + j) <- seg.(fp + i)
-  | Free_push (i, j) -> (
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      match seg.(fp + 1) with
-      | Closure c -> seg.(fp + j) <- c.frees.(i)
-      | v -> Values.err "vm: free-push outside closure" [ v ])
-  | Global_push (g, i) ->
-      if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
-      m.Control.sr.seg.(m.Control.fp + i) <- g.gval
-  | Prim_call site ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      if site.ps_global.gval == site.ps_guard then begin
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        vm.acc <-
-          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
-      end
-      else prim_deopt_call vm site
-  | Prim_call1 site ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      if site.ps_global.gval == site.ps_guard then begin
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(1) in
-        args.(0) <- seg.(fp + site.ps_disp + 2);
-        vm.acc <- site.ps_fn args
-      end
-      else prim_deopt_call vm site
-  | Prim_call2 site ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      if site.ps_global.gval == site.ps_guard then begin
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(2) in
-        let base = fp + site.ps_disp + 2 in
-        args.(0) <- seg.(base);
-        args.(1) <- seg.(base + 1);
-        vm.acc <- site.ps_fn args
-      end
-      else prim_deopt_call vm site
-  | Prim_tail_call site ->
-      let seg = m.Control.sr.seg in
-      let fp = m.Control.fp in
-      if site.ps_global.gval == site.ps_guard then begin
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        vm.acc <-
-          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs);
-        do_return vm
-      end
-      else prim_deopt_tail_call vm site
 
 (* The inline-cache guard failed: the global a fused site was compiled
    against has been assigned ([set!] of [+] and the like).  Reconstruct
    the generic call the peephole replaced and take the slow path with
    whatever value the cell holds now. *)
-and prim_deopt_call vm site =
+let prim_deopt_call vm site =
   let m = vm.m in
   let stats = m.Control.stats in
-  stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
   let g = site.ps_global in
   if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
   let fp = m.Control.fp in
   let seg = m.Control.sr.seg in
   let nfp = fp + site.ps_disp in
   seg.(nfp + 1) <- g.gval;
-  seg.(nfp) <-
-    Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = site.ps_disp };
-  if stats.Stats.enabled then stats.Stats.frames <- stats.Stats.frames + 1;
+  seg.(nfp) <- site.ps_ret;
+  if stats.Stats.enabled then begin
+    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+    stats.Stats.frames <- stats.Stats.frames + 1
+  end;
   apply vm g.gval nfp site.ps_nargs
 
-and prim_deopt_tail_call vm site =
+let prim_deopt_tail_call vm site =
   let m = vm.m in
   let stats = m.Control.stats in
-  stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+  if stats.Stats.enabled then
+    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
   let g = site.ps_global in
   if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
   let fp = m.Control.fp in
   let seg = m.Control.sr.seg in
   let f = g.gval in
   seg.(fp + 1) <- f;
-  Array.blit seg (fp + site.ps_disp + 2) seg (fp + 2) site.ps_nargs;
+  blit_args seg (fp + site.ps_disp + 2) (fp + 2) site.ps_nargs;
   apply vm f fp site.ps_nargs
+
+(* ------------------------------------------------------------------ *)
+(* Error-handler injection                                             *)
+(* ------------------------------------------------------------------ *)
 
 (* Runtime errors unwind to Scheme when a handler is installed: the VM
    pops the head of the %error-handlers list and calls it with the
@@ -506,12 +385,454 @@ let inject_error_handler vm handler msg irritants =
   seg.(fp + fw + 3) <- Values.list_to_value irritants;
   apply vm handler (fp + fw) 2
 
-let step_catching vm =
-  try step vm
-  with Scheme_error (msg, irritants) as exn -> (
-    match pop_error_handler vm with
-    | Some h -> inject_error_handler vm h msg irritants
-    | None -> raise exn)
+(* ------------------------------------------------------------------ *)
+(* The dispatch loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The loop executes one *landing* at a time: a run of instructions
+   between control transfers, all within one code object, one frame and
+   one stack segment.  For the duration of a landing the hot state lives
+   in parameters (so the native compiler keeps it in registers):
+
+     [instrs]  the current code object's instruction array
+     [seg]     the active segment array ([m.sr.seg]); a GC root, so the
+               runtime relocates it like any other local if a minor
+               collection moves the block
+     [fp]      cached copy of [m.Control.fp] (never written mid-landing)
+     [limit]   cached [Control.seg_limit m] for the Enter fast path
+     [acc]     the accumulator
+     [pc]      index of the instruction about to execute
+     [steps]   instructions executed in this landing but not yet added
+               to [stats.instrs] / subtracted from [vm.fuel]
+     [budget]  instructions this landing may still execute before the
+               fuel check must run ([max_int] when fuel is unlimited)
+
+   [sync] writes the batched state back ([vm.pc], [vm.acc], instruction
+   counter, fuel); it MUST run before any operation that can observe
+   [vm.pc] or raise — control transfers, primitive application (prims
+   raise Scheme_error), and every error branch.  After [sync] the [pc]
+   argument is the address *after* the current instruction, matching the
+   historical "pc already incremented" semantics that error-handler
+   injection and the deopt return addresses rely on.
+
+   Instruction fetch uses [Array.unsafe_get]: [Bytecode.make_code]
+   validates that code cannot fall off the end and that branch targets
+   are in range, and [relaunch] bounds-checks every landing's entry pc,
+   so [pc] is always in range here. *)
+
+let[@inline] sync vm steps pc acc =
+  vm.pc <- pc;
+  vm.acc <- acc;
+  let stats = vm.m.Control.stats in
+  if stats.Stats.enabled then
+    stats.Stats.instrs <- stats.Stats.instrs + steps;
+  if vm.fuel >= 0 then vm.fuel <- vm.fuel - steps
+
+let rec exec vm instrs seg fp limit budget acc steps pc =
+  if steps >= budget then begin
+    sync vm steps pc acc;
+    raise Vm_fuel_exhausted
+  end;
+  match Array.unsafe_get instrs pc with
+  | Const v -> exec vm instrs seg fp limit budget v (steps + 1) (pc + 1)
+  | Local_ref i ->
+      exec vm instrs seg fp limit budget seg.(fp + i) (steps + 1) (pc + 1)
+  | Local_set i ->
+      seg.(fp + i) <- acc;
+      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+  | Box_init i ->
+      seg.(fp + i) <- Box (ref seg.(fp + i));
+      let stats = vm.m.Control.stats in
+      if stats.Stats.enabled then
+        stats.Stats.boxes_made <- stats.Stats.boxes_made + 1;
+      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+  | Box_ref i -> (
+      match seg.(fp + i) with
+      | Box r -> exec vm instrs seg fp limit budget !r (steps + 1) (pc + 1)
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: box-ref of non-box" [ v ])
+  | Box_set i -> (
+      match seg.(fp + i) with
+      | Box r ->
+          r := acc;
+          exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: box-set of non-box" [ v ])
+  | Free_ref i -> (
+      match seg.(fp + 1) with
+      | Closure c ->
+          exec vm instrs seg fp limit budget c.frees.(i) (steps + 1) (pc + 1)
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: free-ref outside closure" [ v ])
+  | Free_box_ref i -> (
+      match seg.(fp + 1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r -> exec vm instrs seg fp limit budget !r (steps + 1) (pc + 1)
+          | v ->
+              sync vm (steps + 1) (pc + 1) acc;
+              Values.err "vm: free-box-ref of non-box" [ v ])
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: free-box-ref outside closure" [ v ])
+  | Free_box_set i -> (
+      match seg.(fp + 1) with
+      | Closure c -> (
+          match c.frees.(i) with
+          | Box r ->
+              r := acc;
+              exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+          | v ->
+              sync vm (steps + 1) (pc + 1) acc;
+              Values.err "vm: free-box-set of non-box" [ v ])
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: free-box-set outside closure" [ v ])
+  | Global_ref g ->
+      if g.gdefined then
+        exec vm instrs seg fp limit budget g.gval (steps + 1) (pc + 1)
+      else begin
+        sync vm (steps + 1) (pc + 1) acc;
+        Values.err ("unbound variable: " ^ g.gname) []
+      end
+  | Global_set g ->
+      if g.gdefined then begin
+        g.gval <- acc;
+        exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+      end
+      else begin
+        sync vm (steps + 1) (pc + 1) acc;
+        Values.err ("set! of unbound variable: " ^ g.gname) []
+      end
+  | Global_define g ->
+      g.gval <- acc;
+      g.gdefined <- true;
+      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+  | Make_closure (code, caps) ->
+      let ncaps = Array.length caps in
+      let frees = if ncaps = 0 then [||] else Array.make ncaps Void in
+      for i = 0 to ncaps - 1 do
+        frees.(i) <-
+          (match Array.unsafe_get caps i with
+          | Cap_local j -> seg.(fp + j)
+          | Cap_free j -> (
+              match seg.(fp + 1) with
+              | Closure c -> c.frees.(j)
+              | v ->
+                  sync vm (steps + 1) (pc + 1) acc;
+                  Values.err "vm: capture outside closure" [ v ]))
+      done;
+      let stats = vm.m.Control.stats in
+      if stats.Stats.enabled then
+        stats.Stats.closures_made <- stats.Stats.closures_made + 1;
+      exec vm instrs seg fp limit budget
+        (Closure { code; frees })
+        (steps + 1) (pc + 1)
+  | Branch t -> exec vm instrs seg fp limit budget acc (steps + 1) t
+  | Branch_false t ->
+      exec vm instrs seg fp limit budget acc (steps + 1)
+        (match acc with Bool false -> t | _ -> pc + 1)
+  | Call site -> (
+      let nfp = fp + site.cs_disp in
+      match seg.(nfp + 1) with
+      | Closure c ->
+          (* Same-segment call: the callee's frame lives on the segment
+             we already hold, so transfer control without leaving the
+             loop.  The return address is the per-site constant interned
+             by [Bytecode.backpatch]: no allocation on the call path.
+             [vm.pc] stays stale here — every observation point (error
+             branches, slow-path transfers) syncs its own pc first. *)
+          seg.(nfp) <- site.cs_ret;
+          vm.code <- c.code;
+          vm.nargs <- site.cs_nargs;
+          vm.m.Control.fp <- nfp;
+          let stats = vm.m.Control.stats in
+          if stats.Stats.enabled then begin
+            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+            stats.Stats.frames <- stats.Stats.frames + 1;
+            stats.Stats.calls <- stats.Stats.calls + 1
+          end;
+          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+          exec vm c.code.instrs seg nfp limit (budget - (steps + 1)) acc 0 0
+      | Prim { pfn = Pure fn; parity; pname } ->
+          (* Pure primitives return straight to the fall-through pc: no
+             return address is written and fp never moves, so the call
+             stays inside the landing (with the batched counters flushed
+             first, because [fn] may raise). *)
+          sync vm (steps + 1) (pc + 1) acc;
+          if not (Bytecode.arity_matches parity site.cs_nargs) then
+            Values.err (pname ^ ": wrong number of arguments") [];
+          let stats = vm.m.Control.stats in
+          if stats.Stats.enabled then
+            stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          let v = fn (prim_args vm seg (nfp + 2) site.cs_nargs) in
+          exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
+      | f ->
+          seg.(nfp) <- site.cs_ret;
+          sync vm (steps + 1) (pc + 1) acc;
+          let stats = vm.m.Control.stats in
+          if stats.Stats.enabled then
+            stats.Stats.frames <- stats.Stats.frames + 1;
+          apply vm f nfp site.cs_nargs;
+          relaunch vm)
+  | Tail_call { disp; nargs } -> (
+      let src = fp + disp in
+      let f = seg.(src + 1) in
+      match f with
+      | Closure c ->
+          (* Same-segment tail call: frame is reused in place. *)
+          seg.(fp + 1) <- f;
+          blit_args seg (src + 2) (fp + 2) nargs;
+          vm.code <- c.code;
+          vm.nargs <- nargs;
+          let stats = vm.m.Control.stats in
+          if stats.Stats.enabled then begin
+            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+            stats.Stats.calls <- stats.Stats.calls + 1
+          end;
+          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+          exec vm c.code.instrs seg fp limit (budget - (steps + 1)) acc 0 0
+      | _ ->
+          seg.(fp + 1) <- f;
+          blit_args seg (src + 2) (fp + 2) nargs;
+          sync vm (steps + 1) (pc + 1) acc;
+          apply vm f fp nargs;
+          relaunch vm)
+  | Return -> (
+      match seg.(fp) with
+      | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+          (* Same-segment return with the caller's frame extent already
+             covered: skip the write-back/reload round trip.  The room
+             test is exactly [ensure_resumed_frame_room]'s. *)
+          let nfp = fp - r.rdisp in
+          vm.code <- r.rcode;
+          vm.m.Control.fp <- nfp;
+          let stats = vm.m.Control.stats in
+          if stats.Stats.enabled then
+            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+          exec vm r.rcode.instrs seg nfp limit (budget - (steps + 1)) acc 0
+            r.rpc
+      | _ ->
+          sync vm (steps + 1) (pc + 1) acc;
+          do_return vm;
+          relaunch vm)
+  | Enter -> (
+      let c = vm.code in
+      match c.arity with
+      | Exactly k when k = vm.nargs && fp + c.frame_words <= limit ->
+          (* Fast path: arity matches and the frame extent fits the
+             active segment — nothing to set up.  An armed timer only
+             needs its per-call decrement here; the expensive handler
+             dispatch happens on the call that exhausts the slice, so
+             code running under preemption (the thread benchmarks) stays
+             on the fast path between switches. *)
+          let t = vm.timer in
+          if t > 0 then
+            if t = 1 then begin
+              vm.timer <- -1;
+              sync vm (steps + 1) (pc + 1) acc;
+              fire_timer vm;
+              relaunch vm
+            end
+            else begin
+              vm.timer <- t - 1;
+              exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+            end
+          else exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+      | _ ->
+          sync vm (steps + 1) (pc + 1) acc;
+          enter vm;
+          relaunch vm)
+  | Halt ->
+      sync vm (steps + 1) (pc + 1) acc;
+      vm.halted <- true
+  (* ---- fused superinstructions (emitted by Optimize.peephole) ---- *)
+  | Const_push (v, i) ->
+      seg.(fp + i) <- v;
+      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+  | Local_push (i, j) ->
+      seg.(fp + j) <- seg.(fp + i);
+      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+  | Free_push (i, j) -> (
+      match seg.(fp + 1) with
+      | Closure c ->
+          seg.(fp + j) <- c.frees.(i);
+          exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+      | v ->
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err "vm: free-push outside closure" [ v ])
+  | Global_push (g, i) ->
+      if g.gdefined then begin
+        seg.(fp + i) <- g.gval;
+        exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
+      end
+      else begin
+        sync vm (steps + 1) (pc + 1) acc;
+        Values.err ("unbound variable: " ^ g.gname) []
+      end
+  | Prim_call site ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let v =
+          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
+        in
+        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
+      end
+      else begin
+        prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_call1 site ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- seg.(fp + site.ps_disp + 2);
+        let v = site.ps_fn args in
+        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
+      end
+      else begin
+        prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_call2 site ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        let base = fp + site.ps_disp + 2 in
+        args.(0) <- seg.(base);
+        args.(1) <- seg.(base + 1);
+        let v = site.ps_fn args in
+        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
+      end
+      else begin
+        prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Local_branch_false (i, t) ->
+      (* Fused Local_ref + Branch_false: one dispatch.  The skipped
+         branch sits at [pc + 1]; fall through lands past it. *)
+      let v = seg.(fp + i) in
+      exec vm instrs seg fp limit budget v (steps + 1)
+        (match v with Bool false -> t | _ -> pc + 2)
+  | Prim_branch1 (site, t) ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- seg.(fp + site.ps_disp + 2);
+        let v = site.ps_fn args in
+        exec vm instrs seg fp limit (budget - (steps + 1)) v 0
+          (match v with Bool false -> t | _ -> pc + 2)
+      end
+      else begin
+        (* The interned [ps_ret] resumes at the retained [Branch_false]
+           at [pc + 1], which re-tests the call's returned value. *)
+        prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_branch2 (site, t) ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        let base = fp + site.ps_disp + 2 in
+        args.(0) <- seg.(base);
+        args.(1) <- seg.(base + 1);
+        let v = site.ps_fn args in
+        exec vm instrs seg fp limit (budget - (steps + 1)) v 0
+          (match v with Bool false -> t | _ -> pc + 2)
+      end
+      else begin
+        prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_tail_call site ->
+      sync vm (steps + 1) (pc + 1) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.m.Control.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let v =
+          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
+        in
+        match seg.(fp) with
+        | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+            (* Batched counters were already flushed by [sync] above. *)
+            let nfp = fp - r.rdisp in
+            vm.code <- r.rcode;
+            vm.m.Control.fp <- nfp;
+            exec vm r.rcode.instrs seg nfp limit (budget - (steps + 1)) v 0
+              r.rpc
+        | _ ->
+            vm.acc <- v;
+            do_return vm;
+            relaunch vm
+      end
+      else begin
+        prim_deopt_tail_call vm site;
+        relaunch vm
+      end
+
+(* Re-establish the cached landing state from [vm] after a control
+   transfer and continue executing (or stop, when the transfer halted the
+   machine).  The entry-pc bounds check here is what licences the
+   [unsafe_get] fetch inside the landing. *)
+and relaunch vm =
+  if not vm.halted then begin
+    let instrs = vm.code.instrs in
+    let pc = vm.pc in
+    if pc < 0 || pc >= Array.length instrs then
+      Values.err "vm: corrupt return address (pc out of range)" [];
+    let m = vm.m in
+    let sr = m.Control.sr in
+    exec vm instrs sr.seg m.Control.fp
+      (sr.base + sr.size)
+      (if vm.fuel < 0 then max_int else vm.fuel)
+      vm.acc 0 pc
+  end
+
+(* One hoisted exception frame per handled error, instead of the old
+   per-instruction [try ... with] in [step_catching].  The handler branch
+   of [match ... with exception] is outside the protected region, so the
+   recursive call is a tail call: handling N errors takes O(1) stack. *)
+let rec run_loop vm =
+  match relaunch vm with
+  | () -> ()
+  | exception (Scheme_error (msg, irritants) as exn) -> (
+      match pop_error_handler vm with
+      | Some h ->
+          inject_error_handler vm h msg irritants;
+          run_loop vm
+      | None -> raise exn)
 
 let run ?(fuel = -1) vm code =
   let m = vm.m in
@@ -523,18 +844,7 @@ let run ?(fuel = -1) vm code =
   vm.acc <- Void;
   vm.halted <- false;
   vm.fuel <- fuel;
-  if fuel < 0 then
-    while not vm.halted do
-      step_catching vm
-    done
-  else begin
-    let n = ref fuel in
-    while not vm.halted do
-      if !n <= 0 then raise Vm_fuel_exhausted;
-      decr n;
-      step_catching vm
-    done
-  end;
+  run_loop vm;
   vm.acc
 
 let run_program ?fuel vm codes =

@@ -258,4 +258,66 @@ let suite =
               Alcotest.(check bool) "current <= size" true
                 (r.Rt.current <= r.Rt.size || r == m.Control.sr))
           (Control.live_chain m.Control.sr));
+    (* ---- oversized-segment recycling (seg_words = 256 here) ---- *)
+    case "oversized requests round up to a segment multiple" (fun () ->
+        let m = Control.create small_config in
+        Alcotest.(check int) "small" 256 (Control.seg_request m 10);
+        Alcotest.(check int) "exact" 256 (Control.seg_request m 256);
+        Alcotest.(check int) "rounded" 512 (Control.seg_request m 300);
+        Alcotest.(check int) "boundary" 512 (Control.seg_request m 512);
+        Alcotest.(check int) "next" 768 (Control.seg_request m 513));
+    case "oversized segments recycle through the cache" (fun () ->
+        let stats = Stats.create () in
+        let m = Control.create ~stats small_config in
+        let seg = Control.alloc_segment m 300 in
+        Alcotest.(check int) "rounded length" 512 (Array.length seg);
+        Control.release_segment m seg;
+        Alcotest.(check bool) "accepted" true (stats.Stats.cache_releases > 0);
+        let allocs = stats.Stats.seg_allocs in
+        let words = stats.Stats.seg_alloc_words in
+        let hits = stats.Stats.cache_hits in
+        let seg' = Control.alloc_segment m 257 in
+        Alcotest.(check bool) "same array" true (seg' == seg);
+        Alcotest.(check int) "cache hit" (hits + 1) stats.Stats.cache_hits;
+        Alcotest.(check int) "no fresh alloc" allocs stats.Stats.seg_allocs;
+        Alcotest.(check int) "no fresh words" words
+          stats.Stats.seg_alloc_words);
+    case "first-fit scans past smaller cached segments" (fun () ->
+        let m = Control.create small_config in
+        let big = Control.alloc_segment m 600 in
+        let small = Control.alloc_segment m 10 in
+        Control.release_segment m big;
+        Control.release_segment m small;
+        (* cache order: [small; big]; a 500-word request must skip the
+           256-word head and take the 768-word array behind it. *)
+        let got = Control.alloc_segment m 500 in
+        Alcotest.(check bool) "took the big one" true (got == big);
+        let got' = Control.alloc_segment m 1 in
+        Alcotest.(check bool) "small one still cached" true (got' == small));
+    case "oversized overflow segments are reused across runs" (fun () ->
+        (* A frame larger than a whole segment forces an oversized
+           overflow allocation; with rounding + first-fit the second run
+           must be served entirely from the cache. *)
+        let bindings =
+          String.concat " "
+            (List.init 150 (fun i -> Printf.sprintf "(x%d %d)" i i))
+        in
+        let args =
+          String.concat " " (List.init 150 (fun i -> Printf.sprintf "x%d" i))
+        in
+        let define =
+          Printf.sprintf "(define (bigframe) (let* (%s) (+ %s)))" bindings args
+        in
+        let config =
+          { Control.default_config with seg_words = 128; hysteresis_words = 24 }
+        in
+        let stats = Stats.create () in
+        let s = Scheme.create ~backend:(Scheme.Stack config) ~stats () in
+        ignore (Scheme.eval ~fuel:Tutil.default_fuel s define);
+        ignore (Scheme.eval ~fuel:Tutil.default_fuel s "(bigframe)");
+        Stats.reset stats;
+        ignore (Scheme.eval ~fuel:Tutil.default_fuel s "(bigframe)");
+        Alcotest.(check int) "no fresh segments" 0 stats.Stats.seg_allocs;
+        Alcotest.(check bool) "served from cache" true
+          (stats.Stats.cache_hits > 0));
   ]

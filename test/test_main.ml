@@ -13,5 +13,6 @@ let () =
       ("cml", Test_cml.suite);
       ("macros", Test_macros.suite);
       ("peephole", Test_peephole.suite);
+      ("perf-counters", Test_perf_counters.suite);
       ("differential", Test_diff.suite);
     ]
