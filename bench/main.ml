@@ -6,6 +6,7 @@
      e2    thread systems, Figure 5               (CPS / call/cc / call/1cc)
      e3    deep recursion under overflow policies (Section 4, third result)
      e4    per-frame overhead, stack vs heap      (Section 5, Appel-Shao)
+     e5    dynamic-wind: deep wind/unwind with escaping one-shot conts
      a1    segment cache on/off
      a2    overflow hysteresis on/off
      a3    copy bound sweep (splitting)
@@ -611,6 +612,76 @@ let a6 ~full () =
     [ ("seal (paper)", Control.Seal); ("copy-on-capture", Control.Copy_on_capture) ]
 
 (* ------------------------------------------------------------------ *)
+(* E5: dynamic-wind -- deep wind/unwind with escaping one-shot         *)
+(* continuations (tracks the native winder protocol of PR 3)           *)
+(* ------------------------------------------------------------------ *)
+
+let e5_defs =
+  {scheme|
+(define (wind-escape depth)
+  (call/1cc
+   (lambda (k)
+     (let loop ((d depth))
+       (if (= d 0)
+           (k 'out)
+           (dynamic-wind
+            (lambda () #t)
+            (lambda () (loop (- d 1)))
+            (lambda () #t)))))))
+
+(define (wind-escape-loop times depth)
+  (if (= times 0)
+      'done
+      (begin (wind-escape depth) (wind-escape-loop (- times 1) depth))))
+|scheme}
+
+let e5 ~full () =
+  header
+    "E5: dynamic-wind -- deep wind/unwind, one-shot escape through the \
+     winder chain";
+  let times, depth = if full then (2_000, 100) else (200, 50) in
+  Printf.printf
+    "  workload: %d escapes, each entering %d nested dynamic-winds and \
+     escaping\n  through all of them with a call/1cc continuation (%d \
+     guard thunks/escape)\n"
+    times depth (2 * depth);
+  let measure name scheme_winders =
+    let stats = Stats.create () in
+    let s =
+      Scheme.create
+        ~backend:(Scheme.Stack Control.default_config)
+        ~stats ~scheme_winders ()
+    in
+    Scheme.load_corpus s;
+    run s e5_defs;
+    run s (Printf.sprintf "(wind-escape-loop %d %d)" (times / 10) depth);
+    let _, ms, med =
+      time_ms
+        ~reset:(fun () -> Stats.reset stats)
+        (fun () -> run s (Printf.sprintf "(wind-escape-loop %d %d)" times depth))
+    in
+    Printf.printf "  %-16s %10.1f ms %12d instrs %10d captures %10d closures\n"
+      name ms stats.Stats.instrs
+      (stats.Stats.captures_multi + stats.Stats.captures_oneshot)
+      stats.Stats.closures_made;
+    (ms, med, Stats.copy stats)
+  in
+  let ms_n, med_n, st_n = measure "native" false in
+  let ms_s, med_s, st_s = measure "scheme-winders" true in
+  let extra (st : Stats.t) =
+    [
+      ("captures", J_int (st.Stats.captures_multi + st.Stats.captures_oneshot));
+      ("closures_made", J_int st.Stats.closures_made);
+    ]
+  in
+  record_run "e5.dynamic-wind" ms_n st_n ~median:med_n ~extra:(extra st_n);
+  record_run "e5.dynamic-wind-scheme" ms_s st_s ~median:med_s
+    ~extra:(extra st_s);
+  Printf.printf
+    "  native winders: %.0f%% faster than the Scheme-level protocol\n"
+    ((ms_s -. ms_n) /. ms_s *. 100.)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -666,6 +737,7 @@ let all ~full () =
   e2 ~full ();
   e3 ~full ();
   e4 ~full ();
+  e5 ~full ();
   a1 ~full ();
   a2 ~full ();
   a3 ~full ();
@@ -712,6 +784,7 @@ let () =
   | "e2" -> e2 ~full ()
   | "e3" -> e3 ~full ()
   | "e4" -> e4 ~full ()
+  | "e5" -> e5 ~full ()
   | "a1" -> a1 ~full ()
   | "a2" -> a2 ~full ()
   | "a3" -> a3 ~full ()
@@ -724,7 +797,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (expected e1..e4, a1..a6, micro, all)\n" other;
+        "unknown experiment %s (expected e1..e5, a1..a6, micro, all)\n" other;
       exit 1);
   match json with
   | Some path ->

@@ -10,10 +10,10 @@
 
 open Cmdliner
 
-let run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize ~peephole
-    ~exprs ~files ~interactive =
+let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
+    ~optimize ~peephole ~exprs ~files ~interactive =
   let stats = Stats.create () in
-  let s = Scheme.create ~backend ~stats ~optimize ~peephole () in
+  let s = Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole () in
   if corpus then Scheme.load_corpus s;
   let dump_output () =
     let out = Scheme.output s in
@@ -123,8 +123,8 @@ let capture_conv =
   Arg.enum [ ("seal", Control.Seal); ("copy", Control.Copy_on_capture) ]
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
-    no_cache promotion capture corpus stats_flag disassemble optimize
-    no_peephole exprs files =
+    no_cache promotion capture scheme_winders corpus stats_flag disassemble
+    optimize no_peephole exprs files =
   let config =
     {
       Control.default_config with
@@ -148,8 +148,8 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
-  run_session ~backend ~corpus ~stats_flag ~disassemble ~optimize
-    ~peephole:(not no_peephole) ~exprs ~files ~interactive
+  run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
+    ~optimize ~peephole:(not no_peephole) ~exprs ~files ~interactive
 
 let cmd =
   let backend =
@@ -200,7 +200,7 @@ let cmd =
   let promotion =
     Arg.(
       value
-      & opt promotion_conv Control.Eager
+      & opt promotion_conv Control.default_config.Control.promotion
       & info [ "promotion" ] ~doc:"Promotion strategy: eager or shared-flag.")
   in
   let capture =
@@ -210,6 +210,15 @@ let cmd =
       & info [ "capture" ]
           ~doc:
             "call/cc capture strategy: seal (the paper's zero-copy              segmented stack) or copy (eager copy-on-capture baseline).")
+  in
+  let scheme_winders =
+    Arg.(
+      value & flag
+      & info [ "scheme-winders" ]
+          ~doc:
+            "Load the historical Scheme-level dynamic-wind implementation \
+             (%winders list + wrapper closures) instead of the native \
+             winder protocol; for differential testing.")
   in
   let corpus =
     Arg.(
@@ -254,8 +263,8 @@ let cmd =
   let term =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
-      $ seal_disp $ no_cache $ promotion $ capture $ corpus $ stats_flag
-      $ disassemble $ optimize $ no_peephole $ exprs $ files)
+      $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
+      $ stats_flag $ disassemble $ optimize $ no_peephole $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

@@ -26,17 +26,26 @@ let default_config =
     oneshot_seal = Whole_segment;
     cache_enabled = true;
     cache_max = 1024;
-    promotion = Eager;
+    promotion = Shared_flag;
     capture = Seal;
   }
+
+(* Number of size classes in the segment cache.  Class [c] (for
+   [c < cache_classes - 1]) holds arrays of [c+1 .. c+2) times
+   [seg_words]; the last class is a mixed overflow bucket for everything
+   larger, searched first-fit. *)
+let cache_classes = 8
 
 type t = {
   cfg : config;
   stats : Stats.t;
   mutable sr : stack_record;
   mutable fp : int;
-  mutable cache : value array list;
+  mutable cache : value array list array;
   mutable cache_len : int;
+  mutable cache_words : int;
+  mutable dbg_rid : int;
+  mutable dbg_ids : (stack_record * int) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -46,13 +55,38 @@ type t = {
 (* Oversized requests (multi-shot reinstatement of a big record, overflow
    with a huge frame) are rounded up to a multiple of [seg_words], so the
    arrays they allocate have recyclable sizes: [release_segment] accepts
-   any array of at least [seg_words] and [alloc_segment] finds the first
-   cached array big enough (first-fit, preserving cache order).  Without
-   the rounding every oversized allocation was a one-off the cache could
-   never serve again. *)
+   any array of at least [seg_words].  Without the rounding every
+   oversized allocation was a one-off the cache could never serve
+   again. *)
 let seg_request m words =
   let sw = m.cfg.seg_words in
   if words <= sw then sw else (words + sw - 1) / sw * sw
+
+(* The size class of an array of [len] words ([len >= seg_words]).  For a
+   request already rounded by [seg_request], every array in its class (and
+   in any higher class) is large enough, so the common path is an O(1) pop
+   off the class head; only the mixed last bucket needs a length check. *)
+let class_of m len =
+  let c = (len / m.cfg.seg_words) - 1 in
+  if c >= cache_classes then cache_classes - 1 else c
+
+let pop_class m ~words i =
+  if i < cache_classes - 1 then
+    match m.cache.(i) with
+    | seg :: rest ->
+        m.cache.(i) <- rest;
+        Some seg
+    | [] -> None
+  else
+    (* Mixed top bucket: first-fit within the bucket only. *)
+    let rec take skipped = function
+      | seg :: rest when words <= Array.length seg ->
+          m.cache.(i) <- List.rev_append skipped rest;
+          Some seg
+      | seg :: rest -> take (seg :: skipped) rest
+      | [] -> None
+    in
+    take [] m.cache.(i)
 
 let alloc_segment m words =
   let words = seg_request m words in
@@ -62,34 +96,52 @@ let alloc_segment m words =
     Array.make words Void
   in
   if not m.cfg.cache_enabled then fresh ()
-  else
-    (* First-fit scan: the head matches immediately in the common case
-       (default-sized request, default-sized cached segments). *)
-    let rec take skipped = function
-      | seg :: rest when words <= Array.length seg ->
-          m.cache <- List.rev_append skipped rest;
-          m.cache_len <- m.cache_len - 1;
-          m.stats.cache_hits <- m.stats.cache_hits + 1;
-          seg
-      | seg :: rest -> take (seg :: skipped) rest
-      | [] -> fresh ()
+  else begin
+    let c = class_of m words in
+    let seg =
+      match pop_class m ~words c with
+      | Some _ as s ->
+          m.stats.cache_class_hits <- m.stats.cache_class_hits + 1;
+          s
+      | None ->
+          (* Exact class empty: bounded upward scan — any array in a
+             higher class is big enough by construction. *)
+          m.stats.cache_class_misses <- m.stats.cache_class_misses + 1;
+          let rec up i =
+            if i >= cache_classes then None
+            else
+              match pop_class m ~words i with
+              | Some _ as s -> s
+              | None -> up (i + 1)
+          in
+          up (c + 1)
     in
-    take [] m.cache
+    match seg with
+    | Some seg ->
+        m.cache_len <- m.cache_len - 1;
+        m.cache_words <- m.cache_words - Array.length seg;
+        m.stats.cache_hits <- m.stats.cache_hits + 1;
+        seg
+    | None -> fresh ()
+  end
 
 let release_segment m seg =
-  if
-    m.cfg.cache_enabled
-    && Array.length seg >= m.cfg.seg_words
-    && m.cache_len < m.cfg.cache_max
+  let len = Array.length seg in
+  if m.cfg.cache_enabled && len >= m.cfg.seg_words && m.cache_len < m.cfg.cache_max
   then begin
-    m.cache <- seg :: m.cache;
+    let c = class_of m len in
+    m.cache.(c) <- seg :: m.cache.(c);
     m.cache_len <- m.cache_len + 1;
+    m.cache_words <- m.cache_words + len;
+    if m.cache_words > m.stats.cache_words_hw then
+      m.stats.cache_words_hw <- m.cache_words;
     m.stats.cache_releases <- m.stats.cache_releases + 1
   end
 
 let clear_cache m =
-  m.cache <- [];
-  m.cache_len <- 0
+  Array.fill m.cache 0 cache_classes [];
+  m.cache_len <- 0;
+  m.cache_words <- 0
 
 (* The active record wholly owns its array iff it covers it entirely;
    only then may the array be recycled when the stack is abandoned. *)
@@ -101,21 +153,21 @@ let fresh_record seg ~base ~size ~link =
 (* Debug record identities (CONTROL_DEBUG traces only).  The table is
    populated solely under [!debug] — identity lookups are O(n) in the
    number of live records traced, which is fine for a trace aid but must
-   never be paid (or leak) on production paths — and is emptied by
-   [create] so one machine's records do not pin another's segments. *)
+   never be paid (or leak) on production paths.  It lives in the machine
+   itself (it used to be module-global), so one machine's traced records
+   are never pinned by another machine's lifetime, and a machine's table
+   dies with the machine. *)
 let debug = ref (Sys.getenv_opt "CONTROL_DEBUG" <> None)
-let rid = ref 0
-let ids : (stack_record * int) list ref = ref []
 
-let id_of (r : stack_record) =
+let id_of m (r : stack_record) =
   if not !debug then 0
   else
-    match List.find_opt (fun (r', _) -> r' == r) !ids with
+    match List.find_opt (fun (r', _) -> r' == r) m.dbg_ids with
     | Some (_, i) -> i
     | None ->
-        incr rid;
-        ids := (r, !rid) :: !ids;
-        !rid
+        m.dbg_rid <- m.dbg_rid + 1;
+        m.dbg_ids <- (r, m.dbg_rid) :: m.dbg_ids;
+        m.dbg_rid
 
 let dbg fmt = Printf.eprintf fmt
 
@@ -126,16 +178,17 @@ let create ?stats cfg =
   | Seal_displacement h -> assert (h >= 1)
   | Whole_segment -> ());
   let stats = match stats with Some s -> s | None -> Stats.create () in
-  ids := [];
-  rid := 0;
   let m =
     {
       cfg;
       stats;
       sr = fresh_record [||] ~base:0 ~size:0 ~link:None;
       fp = 0;
-      cache = [];
+      cache = Array.make cache_classes [];
       cache_len = 0;
+      cache_words = 0;
+      dbg_rid = 0;
+      dbg_ids = [];
     }
   in
   let seg = alloc_segment m cfg.seg_words in
@@ -308,7 +361,7 @@ let capture_oneshot m =
       | None -> Values.err "capture at stack bottom with no link" []
     in
     m.stats.captures_oneshot <- m.stats.captures_oneshot + 1;
-    if !debug then dbg "cap1cc(empty) -> r%d\n" (id_of k);
+    if !debug then dbg "cap1cc(empty) -> r%d\n" (id_of m k);
     k
   end
   else begin
@@ -339,24 +392,25 @@ let capture_oneshot m =
         sr.seg.(m.fp) <- Underflow_mark;
         k
     | _ ->
-        (* Encapsulate the entire segment; continue on a fresh one. *)
-        let k =
-          {
-            seg = sr.seg;
-            base = sr.base;
-            size = sr.size;
-            current = occupied;
-            link = sr.link;
-            ret;
-            promoted = inherit_flag m sr.link;
-          }
-        in
+        (* Encapsulate the entire segment; continue on a fresh one.  The
+           active record struct is referenced only through [m.sr] (the
+           same privacy invariant the in-place unseal relies on when it
+           mutates the active record's bounds), so instead of building a
+           new sealed record and dropping this one, recycle the struct:
+           its seg/base/size/link fields are already exactly the sealed
+           record's, leaving one store each for the occupancy, return
+           slot and promotion-flag group.  The capture-switch loop of
+           experiment e2 runs this once per context switch. *)
+        let k = sr in
+        k.current <- occupied;
+        k.ret <- ret;
+        k.promoted <- inherit_flag m k.link;
         let seg = alloc_segment m m.cfg.seg_words in
         m.sr <-
           fresh_record seg ~base:0 ~size:(Array.length seg) ~link:(Some k);
         m.fp <- 0;
         seg.(0) <- Underflow_mark;
-        if !debug then dbg "cap1cc -> r%d (seg=%d base=%d cur=%d)\n" (id_of k) (Array.length k.seg) k.base k.current;
+        if !debug then dbg "cap1cc -> r%d (seg=%d base=%d cur=%d)\n" (id_of m k) (Array.length k.seg) k.base k.current;
         k
   end
 
@@ -403,44 +457,124 @@ let split_for_copy m k content =
     content - s
   end
 
-let reinstate_multi m k =
-  let content = k.current in
-  let content =
-    if content > m.cfg.copy_bound then split_for_copy m k content else content
+(* Unseal fast path (the capture-then-immediately-invoke loop pattern).
+   When the multi-shot record being invoked is the region directly below
+   the current *empty* base of the same segment — i.e. nothing has been
+   pushed since it was sealed and its frames are still physically intact
+   in place — reinstatement does not need to copy the content back above
+   the seal.  Instead the seal is reopened in place: only the topmost
+   saved frame (the frame the resumed code executes in, which is about to
+   be mutated) is copied aside into the record so a later re-invocation
+   can rebuild the identical state; everything below it stays sealed,
+   zero-copy, as a fresh record that the reopened frame underflows into
+   when it eventually returns.  Escape-heavy workloads (ctak) thus pay
+   one frame of copying per invocation instead of the whole inter-capture
+   region. *)
+let unseal_in_place m k (r : retaddr) =
+  let sr = m.sr in
+  let seg = k.seg in
+  let s = k.current - r.rdisp in
+  let boundary = k.base + s in
+  let krest =
+    {
+      seg;
+      base = k.base;
+      size = s;
+      current = s;
+      link = k.link;
+      ret = seg.(boundary);
+      promoted = ref true;
+    }
   in
-  let sr = m.sr in
-  if sr.size < content then begin
-    if wholly_owned sr && sr.seg != k.seg then release_segment m sr.seg;
-    let seg = alloc_segment m (content + 64) in
-    m.sr <- fresh_record seg ~base:0 ~size:(Array.length seg) ~link:None
-  end;
-  let sr = m.sr in
-  Array.blit k.seg k.base sr.seg sr.base content;
-  m.stats.words_copied <- m.stats.words_copied + content;
-  sr.link <- k.link;
-  let r = retaddr_of k.ret in
-  m.fp <- sr.base + content - r.rdisp;
+  ignore (retaddr_of krest.ret);
+  (* Preserve the top frame — including its return slot, which doubles as
+     [krest]'s displaced return — before the seal boundary moves. *)
+  let top = Array.sub seg boundary r.rdisp in
+  m.stats.words_copied <- m.stats.words_copied + r.rdisp;
+  k.seg <- top;
+  k.base <- 0;
+  k.size <- r.rdisp;
+  k.current <- r.rdisp;
+  k.link <- Some krest;
+  seg.(boundary) <- Underflow_mark;
+  (* The active record grows downward over the reopened top frame. *)
+  sr.size <- sr.size + (sr.base - boundary);
+  sr.base <- boundary;
+  sr.link <- Some krest;
+  m.fp <- boundary;
+  m.stats.unseals <- m.stats.unseals + 1;
   m.stats.invokes_multi <- m.stats.invokes_multi + 1;
   r
+
+let reinstate_multi ?(unseal = true) m k =
+  let sr = m.sr in
+  let r = retaddr_of k.ret in
+  if
+    unseal && sr.seg == k.seg
+    && (match sr.link with Some l -> l == k | None -> false)
+    && k.base + k.size = sr.base
+    && m.fp = sr.base
+    && r.rdisp > 0
+    && k.current > r.rdisp
+  then unseal_in_place m k r
+  else begin
+    let content = k.current in
+    let content =
+      if content > m.cfg.copy_bound then split_for_copy m k content else content
+    in
+    let sr = m.sr in
+    if sr.size < content then begin
+      if wholly_owned sr && sr.seg != k.seg then release_segment m sr.seg;
+      let seg = alloc_segment m (content + 64) in
+      m.sr <- fresh_record seg ~base:0 ~size:(Array.length seg) ~link:None
+    end;
+    let sr = m.sr in
+    Array.blit k.seg k.base sr.seg sr.base content;
+    m.stats.words_copied <- m.stats.words_copied + content;
+    sr.link <- k.link;
+    let r = retaddr_of k.ret in
+    m.fp <- sr.base + content - r.rdisp;
+    m.stats.invokes_multi <- m.stats.invokes_multi + 1;
+    r
+  end
 
 let reinstate_oneshot m k =
   let sr = m.sr in
   if wholly_owned sr && sr.seg != k.seg then release_segment m sr.seg;
-  m.sr <- fresh_record k.seg ~base:k.base ~size:k.size ~link:k.link;
+  (* Adopt [k]'s segment by recycling the outgoing active record struct
+     (private to [m.sr], like the capture path) rather than allocating a
+     fresh one: together with the recycled sealed record at capture,
+     a one-shot capture/invoke round trip allocates one record, not
+     three.  [k] itself cannot be reused — its identity must survive,
+     shot-marked, inside the continuation value. *)
+  sr.seg <- k.seg;
+  sr.base <- k.base;
+  sr.size <- k.size;
+  sr.current <- 0;
+  sr.link <- k.link;
+  sr.ret <- Void;
+  sr.promoted <- ref false;
   let r = retaddr_of k.ret in
   m.fp <- k.base + k.current - r.rdisp;
-  (* Mark shot: both size fields set to -1 (paper Figure 4). *)
+  (* Mark shot: both size fields set to -1 (paper Figure 4), and detach
+     the record from its adopted segment and its chain — a shot record
+     can never be reinstated, so keeping the pointers alive would only
+     pin the segment (and every record below it) for as long as the dead
+     continuation value happens to be reachable. *)
   k.size <- -1;
   k.current <- -1;
+  k.seg <- [||];
+  k.link <- None;
+  k.ret <- Void;
   m.stats.invokes_oneshot <- m.stats.invokes_oneshot + 1;
   r
 
-let reinstate m k =
+let reinstate ?(unseal = true) m k =
   if !debug then
-    dbg "reinstate r%d (size=%d current=%d shot=%b multi=%b)\n" (id_of k)
+    dbg "reinstate r%d (size=%d current=%d shot=%b multi=%b)\n" (id_of m k)
       k.size k.current (is_shot k) (is_multi k);
   if is_shot k then raise Shot_continuation
-  else if is_multi k then reinstate_multi m k
+  else if is_multi k then reinstate_multi ~unseal m k
   else reinstate_oneshot m k
 
 let underflow m =
@@ -448,7 +582,10 @@ let underflow m =
   | None -> None
   | Some k ->
       m.stats.underflows <- m.stats.underflows + 1;
-      Some (reinstate m k)
+      (* Returning through a seal is a descent that will keep descending:
+         take the bulk-copy path (bounded by [copy_bound]) rather than
+         reopening one frame at a time. *)
+      Some (reinstate ~unseal:false m k)
 
 (* ------------------------------------------------------------------ *)
 (* Overflow as implicit continuation capture (paper Section 3.2)       *)
@@ -569,8 +706,15 @@ let backtrace ?(limit = 64) m =
             in_segment seg (f - r.rdisp) link
       | Underflow_mark -> (
           match link with
-          | Some k when not (is_shot k) -> at_record k
-          | _ -> ())
+          | Some k when is_shot k ->
+              (* The chain continues into a continuation that has been
+                 shot: its frames are gone (the segment was adopted and
+                 the record detached), so mark the hole instead of
+                 silently truncating the walk. *)
+              incr count;
+              names := "<shot>" :: !names
+          | Some k -> at_record k
+          | None -> ())
       | _ -> ()
   and at_record k =
     match k.ret with

@@ -55,16 +55,39 @@ val default_config : config
 (** 16K-word segments, 128-word copy bound, [As_call1cc] overflow with
     64 words of hysteresis, whole-segment sealing, cache of up to 1024
     segments (the cache is dropped wholesale by {!clear_cache}, standing in
-    for the paper's discard-at-GC), eager promotion. *)
+    for the paper's discard-at-GC), shared-flag promotion (the paper's
+    O(1) scheme of §3.3; [Eager] remains available as a config/CLI
+    option). *)
+
+val cache_classes : int
+(** Number of size classes in the segment cache.  Class [c] (for
+    [c < cache_classes - 1]) holds arrays of [c+1 .. c+2) times
+    [seg_words]; the last class is a mixed bucket for everything larger,
+    searched first-fit. *)
 
 type t = {
   cfg : config;
   stats : Stats.t;
   mutable sr : Rt.stack_record;  (** the current (active) stack record *)
   mutable fp : int;  (** frame pointer: absolute index into [sr.seg] *)
-  mutable cache : Rt.value array list;
-  mutable cache_len : int;
+  mutable cache : Rt.value array list array;
+      (** per-size-class free lists, [cache_classes] of them *)
+  mutable cache_len : int;  (** total cached segments across classes *)
+  mutable cache_words : int;  (** total words parked across classes *)
+  mutable dbg_rid : int;
+  mutable dbg_ids : (Rt.stack_record * int) list;
+      (** per-machine debug identity table; populated only under
+          {!debug} *)
 }
+
+val debug : bool ref
+(** Trace toggle, initialised from [CONTROL_DEBUG].  When off, the debug
+    identity table is never touched. *)
+
+val id_of : t -> Rt.stack_record -> int
+(** Stable per-machine identity of a record for trace output; [0] when
+    {!debug} is off.  The table lives in the machine, so records traced
+    by one machine are never pinned by another machine's lifetime. *)
 
 val create : ?stats:Stats.t -> config -> t
 (** A machine with one initial segment and a bottom frame whose return slot
@@ -99,15 +122,28 @@ val capture_oneshot : t -> Rt.stack_record
     other slots are unwritten: the caller must populate slots [fp+1 ..]
     before dispatching. *)
 
-val reinstate : t -> Rt.stack_record -> Rt.retaddr
+val reinstate : ?unseal:bool -> t -> Rt.stack_record -> Rt.retaddr
 (** Invoke a continuation record: dispatches on one-shot/multi-shot,
     performs splitting/copying or segment adoption, updates [sr]/[fp], and
     returns the return address at which to resume.
+
+    Multi-shot invocation takes the in-place {e unseal} fast path (when
+    [unseal], the default) if the record is the intact region directly
+    below the current empty base of the same segment: the seal is
+    reopened in place and only the topmost saved frame is copied aside
+    into the record (so re-invocation rebuilds the same state); the rest
+    stays sealed, zero-copy, as a record the reopened frame underflows
+    into.  Counted in [Stats.unseals].  One-shot invocation adopts the
+    record's segment, marks the record shot, and detaches its segment and
+    chain pointers so the dead record pins nothing.
     @raise Rt.Shot_continuation on a second one-shot invocation. *)
 
 val underflow : t -> Rt.retaddr option
-(** Return through a bottom frame: implicitly invoke [sr.link].  [None]
-    means the machine ran off the bottom of the whole stack (halt). *)
+(** Return through a bottom frame: implicitly invoke [sr.link] (with the
+    unseal fast path disabled — a descent that has started returning
+    through seals keeps descending, so the bounded bulk copy wins).
+    [None] means the machine ran off the bottom of the whole stack
+    (halt). *)
 
 val clear_cache : t -> unit
 (** Drop every cached segment (the paper lets the storage manager discard
@@ -120,14 +156,17 @@ val seg_request : t -> int -> int
     cache. *)
 
 val alloc_segment : t -> int -> Rt.value array
-(** Draw a segment of at least [seg_request m n] words: first-fit from the
-    cache (counting a [cache_hits]), else freshly allocated (counting
-    [seg_allocs]/[seg_alloc_words]). *)
+(** Draw a segment of at least [seg_request m n] words.  The request's
+    exact size class is popped O(1) (counting [cache_class_hits]); when
+    that class is empty ([cache_class_misses]) a bounded upward scan
+    tries the larger classes; any cache pop counts a [cache_hits]; else a
+    fresh array is allocated (counting [seg_allocs]/[seg_alloc_words]). *)
 
 val release_segment : t -> Rt.value array -> unit
-(** Offer an abandoned segment to the cache.  Accepted (counting a
-    [cache_releases]) when caching is enabled, the array is at least
-    [seg_words] long and the cache is below [cache_max]. *)
+(** Offer an abandoned segment to the cache, pushed O(1) onto its size
+    class.  Accepted (counting a [cache_releases], and updating the
+    [cache_words_hw] high-water mark) when caching is enabled, the array
+    is at least [seg_words] long and the cache is below [cache_max]. *)
 
 val ensure_room : t -> live_top:int -> need:int -> unit
 (** Guarantee [need] words of space above [fp], treating exhaustion as an
@@ -149,7 +188,9 @@ val backtrace : ?limit:int -> t -> string list
 (** Procedure names of the frames on the logical stack, innermost first,
     walking the displacement words and crossing segment boundaries through
     the record chain (the paper's stack walk for debuggers and exception
-    handlers).  At most [limit] frames (default 64). *)
+    handlers).  A shot record in the chain contributes a ["<shot>"]
+    sentinel frame (its frames are gone) and ends the walk.  At most
+    [limit] frames (default 64). *)
 
 val walk_frames : Rt.value array -> base:int -> top:int -> int list
 (** Frame base offsets (relative to [base], descending from [top]) obtained

@@ -10,6 +10,7 @@ type t = {
   mutable captures_oneshot : int;
   mutable invokes_multi : int;
   mutable invokes_oneshot : int;
+  mutable unseals : int;
   mutable underflows : int;
   mutable overflows : int;
   mutable splits : int;
@@ -19,6 +20,9 @@ type t = {
   mutable seg_alloc_words : int;
   mutable cache_hits : int;
   mutable cache_releases : int;
+  mutable cache_class_hits : int;
+  mutable cache_class_misses : int;
+  mutable cache_words_hw : int;
   mutable closures_made : int;
   mutable boxes_made : int;
   mutable heap_frames : int;
@@ -39,6 +43,7 @@ let create ?(enabled = true) () =
     captures_oneshot = 0;
     invokes_multi = 0;
     invokes_oneshot = 0;
+    unseals = 0;
     underflows = 0;
     overflows = 0;
     splits = 0;
@@ -48,6 +53,9 @@ let create ?(enabled = true) () =
     seg_alloc_words = 0;
     cache_hits = 0;
     cache_releases = 0;
+    cache_class_hits = 0;
+    cache_class_misses = 0;
+    cache_words_hw = 0;
     closures_made = 0;
     boxes_made = 0;
     heap_frames = 0;
@@ -67,6 +75,7 @@ let reset t =
   t.captures_oneshot <- 0;
   t.invokes_multi <- 0;
   t.invokes_oneshot <- 0;
+  t.unseals <- 0;
   t.underflows <- 0;
   t.overflows <- 0;
   t.splits <- 0;
@@ -76,6 +85,9 @@ let reset t =
   t.seg_alloc_words <- 0;
   t.cache_hits <- 0;
   t.cache_releases <- 0;
+  t.cache_class_hits <- 0;
+  t.cache_class_misses <- 0;
+  t.cache_words_hw <- 0;
   t.closures_made <- 0;
   t.boxes_made <- 0;
   t.heap_frames <- 0;
@@ -94,6 +106,7 @@ let to_rows t =
     ("captures-oneshot", t.captures_oneshot);
     ("invokes-multi", t.invokes_multi);
     ("invokes-oneshot", t.invokes_oneshot);
+    ("unseals", t.unseals);
     ("underflows", t.underflows);
     ("overflows", t.overflows);
     ("splits", t.splits);
@@ -103,6 +116,9 @@ let to_rows t =
     ("seg-alloc-words", t.seg_alloc_words);
     ("cache-hits", t.cache_hits);
     ("cache-releases", t.cache_releases);
+    ("cache-class-hits", t.cache_class_hits);
+    ("cache-class-misses", t.cache_class_misses);
+    ("cache-words-hw", t.cache_words_hw);
     ("closures-made", t.closures_made);
     ("boxes-made", t.boxes_made);
     ("heap-frames", t.heap_frames);

@@ -25,6 +25,9 @@ type t = {
   mutable captures_oneshot : int;
   mutable invokes_multi : int;
   mutable invokes_oneshot : int;
+  mutable unseals : int;
+      (** multi-shot invocations served by the in-place unseal fast path
+          (adjacent sealed record reopened; only its top frame copied) *)
   mutable underflows : int;
   mutable overflows : int;
   mutable splits : int;
@@ -33,7 +36,15 @@ type t = {
   mutable seg_allocs : int;  (** fresh segments allocated *)
   mutable seg_alloc_words : int;
   mutable cache_hits : int;
+      (** segment-cache pops that satisfied an allocation (any class) *)
   mutable cache_releases : int;
+  mutable cache_class_hits : int;
+      (** pops satisfied by the request's exact size class (O(1) path) *)
+  mutable cache_class_misses : int;
+      (** requests whose exact size class was empty (fresh allocation or
+          higher-class scan) *)
+  mutable cache_words_hw : int;
+      (** high-water mark of words parked in the cache across all classes *)
   mutable closures_made : int;
   mutable boxes_made : int;
   mutable heap_frames : int;  (** heap VM: frames allocated *)

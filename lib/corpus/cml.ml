@@ -20,7 +20,8 @@ let source =
 ;; be called from inside (run-threads ...) -- typically from the initial
 ;; thread.
 (define (spawn thunk)
-  (%tq-push! (lambda () (thunk) (%thread-done))))
+  ;; One-argument wrapper: see the ready-queue protocol in threads.ml.
+  (%tq-push! (lambda (ignored) (thunk) (%thread-done))))
 
 ;; Yield the processor voluntarily.
 (define (yield)
@@ -79,7 +80,7 @@ let source =
          ;; receiver waiting: wake it with the value, keep running
          (let ((rk (%take-last! (lambda () (%chan-receivers c))
                                 (lambda (l) (%chan-set-receivers! c l)))))
-           (%tq-push! (lambda () (rk v)))
+           (%tq-push! (lambda (ignored) (rk v)))
            #t)))))
 
 ;; Receive from c; blocks until a sender provides a value.
@@ -131,7 +132,7 @@ let source =
          (vector-set! m 1 (cons v (vector-ref m 1)))
          (let ((rk (%take-last! (lambda () (vector-ref m 2))
                                 (lambda (l) (vector-set! m 2 l)))))
-           (%tq-push! (lambda () (rk v))))))))
+           (%tq-push! (lambda (ignored) (rk v))))))))
 
 (define (mailbox-take m)
   (%critical

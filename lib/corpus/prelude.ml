@@ -2,13 +2,17 @@
    code.  Everything here is plain Scheme over the machine primitives:
 
    - [call-with-values] over the [values]-carrier protocol;
-   - [dynamic-wind] with the winder list, and [call/cc]/[call/1cc]
-     wrappers that unwind/rewind on invocation (Chez-style);
+   - [dynamic-wind] and the [call/cc]/[call/1cc] wrappers, in two
+     interchangeable variants: the default binds them to the native
+     winder protocol ([%dynamic-wind] and the wind-aware capture
+     operators), while [source_scheme_winders] carries the historical
+     Scheme-level winder list (Chez-style [%winders]/[%do-winds]) used
+     as the differential-testing reference;
    - the usual list/vector library procedures;
    - engines in the Dybvig-Hieb construction over the VM timer and
      [%call/1cc]. *)
 
-let source =
+let head =
   {scheme|
 ;; ---------------------------------------------------------------------
 ;; Multiple values
@@ -16,9 +20,32 @@ let source =
 
 (define (call-with-values producer consumer)
   (apply consumer (%values->list (producer))))
+|scheme}
 
+(* Native winders: the machine maintains the winder chain, the capture
+   operators snapshot it, and continuation invocation runs the
+   unwind/rewind trampoline itself — so the wrappers are the raw
+   operators and capture allocates no wrapper closures. *)
+let winders_native =
+  {scheme|
 ;; ---------------------------------------------------------------------
-;; dynamic-wind and continuation wrappers
+;; dynamic-wind and continuation wrappers (native winder protocol)
+;; ---------------------------------------------------------------------
+
+(define dynamic-wind %dynamic-wind)
+(define call/cc %call/cc)
+(define call-with-current-continuation %call/cc)
+(define call/1cc %call/1cc)
+|scheme}
+
+(* Scheme-level winders: the pre-native implementation, kept as the
+   semantic reference for differential testing ([--scheme-winders]).
+   With this variant the machines' native winder chains stay empty, so
+   continuation invocation always takes its direct fast path. *)
+let winders_scheme =
+  {scheme|
+;; ---------------------------------------------------------------------
+;; dynamic-wind and continuation wrappers (Scheme-level winder list)
 ;; ---------------------------------------------------------------------
 
 (define %winders '())
@@ -74,7 +101,10 @@ let source =
        (p (lambda vals
             (if (eq? %winders saved) #f (%do-winds saved))
             (apply k vals)))))))
+|scheme}
 
+let tail =
+  {scheme|
 ;; ---------------------------------------------------------------------
 ;; List library
 ;; ---------------------------------------------------------------------
@@ -304,3 +334,6 @@ let source =
           (lambda (remaining value) value)
           (lambda (next) (engine-run-to-completion ticks next))))
 |scheme}
+
+let source = head ^ winders_native ^ tail
+let source_scheme_winders = head ^ winders_scheme ^ tail

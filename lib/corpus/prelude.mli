@@ -5,3 +5,11 @@
     and the Dybvig-Hieb engines over the VM timer. *)
 
 val source : string
+(** The default prelude: [dynamic-wind]/[call/cc]/[call/1cc] bound to
+    the native winder protocol ([%dynamic-wind] and the wind-aware
+    capture operators). *)
+
+val source_scheme_winders : string
+(** The same prelude with the historical Scheme-level winder list
+    ([%winders]/[%do-winds]/wrapper closures) — the semantic reference
+    the native protocol is differentially tested against. *)

@@ -13,6 +13,9 @@ type t = {
   mutable timer : int;
   mutable timer_handler : value;
   mutable halted : bool;
+  mutable winders : winder list;
+      (* native dynamic-wind chain, innermost first; shares structure
+         with the [hcont_winders] snapshots of captured continuations *)
 }
 
 exception Vm_fuel_exhausted
@@ -28,20 +31,37 @@ let create ?stats () =
   let globals = Globals.create () in
   Prims.install ~out globals;
   let stats = match stats with Some s -> s | None -> Stats.create () in
-  {
-    globals;
-    menv = Macro.create_menv ();
-    out;
-    stats;
-    acc = Void;
-    code = halt_code;
-    pc = 0;
-    nargs = 0;
-    frame = root_frame ();
-    timer = -1;
-    timer_handler = Void;
-    halted = false;
-  }
+  let vm =
+    {
+      globals;
+      menv = Macro.create_menv ();
+      out;
+      stats;
+      acc = Void;
+      code = halt_code;
+      pc = 0;
+      nargs = 0;
+      frame = root_frame ();
+      timer = -1;
+      timer_handler = Void;
+      halted = false;
+      winders = [];
+    }
+  in
+  (* Mirror of the stack VM: the timer accessors are rebound as [Pure]
+     primitives closing over this vm so the scheduler's per-switch
+     re-arm is an in-line prim application instead of a generic call
+     into the special dispatcher. *)
+  let pure name parity fn =
+    Globals.define globals name (Prim { pname = name; parity; pfn = Pure fn })
+  in
+  pure "%set-timer!" (Exactly 2) (fun args ->
+      let ticks = Prims.check_int "%set-timer!" args.(0) in
+      vm.timer_handler <- args.(1);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      Void);
+  pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
+  vm
 
 let output vm = Buffer.contents vm.out
 
@@ -131,14 +151,27 @@ let rec happly vm f args ~ret ~parent ~guards =
   | v -> Values.err "application of non-procedure" [ v ]
 
 and invoke_hcont vm k args =
+  let v =
+    if Array.length args = 1 then args.(0) else Mvals (Array.to_list args)
+  in
+  (* Fast path: the machine already sits at the continuation's winder
+     chain (physical equality; with the Scheme-level winders prelude
+     both are always []).  Otherwise run the wind trampoline; the shot
+     check then fires only after the winds, as in the Scheme wrapper. *)
+  if k.hcont_winders == vm.winders then reinstate_hcont vm k v
+  else
+    wind_go vm (Hcont k) v k.hcont_winders
+      ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = 0 })
+      ~parent:(Some vm.frame) ~guards:[]
+
+and reinstate_hcont vm k v =
   if k.hcont_one_shot && not k.hcont_promoted then begin
     if k.hcont_shot then raise Shot_continuation;
     k.hcont_shot <- true;
     vm.stats.Stats.invokes_oneshot <- vm.stats.Stats.invokes_oneshot + 1
   end
   else vm.stats.Stats.invokes_multi <- vm.stats.Stats.invokes_multi + 1;
-  vm.acc <-
-    (if Array.length args = 1 then args.(0) else Mvals (Array.to_list args));
+  vm.acc <- v;
   (match k.hcont_frame with
   | Some f -> vm.frame <- f
   | None -> vm.frame <- root_frame ());
@@ -147,6 +180,78 @@ and invoke_hcont vm k args =
       vm.code <- r.rcode;
       vm.pc <- r.rpc
   | v -> Values.err "heapvm: corrupt continuation" [ v ]
+
+(* Call a 0-argument guard thunk so that its return resumes [ret]
+   (pointing into one of the hidden resume code objects) against the
+   driver frame [frame].  A pure primitive pushes no frame and returns
+   by falling through, so it is stepped inline to the same state a
+   closure's normal return would reach. *)
+and call_guard vm g ~ret ~frame =
+  match g with
+  | Prim { pfn = Pure fn; parity; pname } ->
+      if not (Bytecode.arity_matches parity 0) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      vm.stats.Stats.prim_calls <- vm.stats.Stats.prim_calls + 1;
+      vm.acc <- fn [||];
+      vm.frame <- frame;
+      (match ret with
+      | Retaddr r ->
+          vm.code <- r.rcode;
+          vm.pc <- r.rpc
+      | v -> Values.err "heapvm: corrupt wind return" [ v ])
+  | _ -> happly vm g [||] ~ret ~parent:(Some frame) ~guards:[]
+
+(* One wind-trampoline step: move [vm.winders] one extent toward
+   [target], running the appropriate guard, or reinstate [kv] with
+   [payload] when the chains meet.  Each step allocates a fresh driver
+   frame mirroring the stack VM's wind-frame layout
+   ([_][%wind][k][payload][target][pending]); the guard returns through
+   [Prims.wind_ret], whose single instruction tail-calls back into
+   [Sp_wind] with the slots as arguments and the original
+   [ret]/[parent]/[guards] context propagated through the frame.
+   Ordering matches the prelude's [%do-winds]: unwinds pop the chain
+   before running the after thunk; rewinds run the before thunk first
+   and commit the pending chain node only when it returns. *)
+and wind_go vm kv payload target ~ret ~parent ~guards =
+  let cur = vm.winders in
+  if cur == target then
+    match kv with
+    | Hcont k -> reinstate_hcont vm k payload
+    | v -> Values.err "heapvm: corrupt wind frame" [ v ]
+  else begin
+    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+    let lc = List.length cur and lt = List.length target in
+    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
+    let base =
+      common
+        (if lc > lt then drop (lc - lt) cur else cur)
+        (if lt > lc then drop (lt - lc) target else target)
+    in
+    let thunk, pending =
+      if cur != base then
+        match cur with
+        | w :: rest ->
+            vm.winders <- rest;
+            (w.w_after, Bool false)
+        | [] -> assert false
+      else
+        let rec find l =
+          match l with
+          | w :: rest when rest == cur -> (w, l)
+          | _ :: rest -> find rest
+          | [] -> assert false
+        in
+        let w, node = find target in
+        (w.w_before, WindersV node)
+    in
+    let fr = alloc_frame vm ~words:6 ~ret ~parent ~guards in
+    fr.hslots.(1) <- Prim Prims.wind_prim;
+    fr.hslots.(2) <- kv;
+    fr.hslots.(3) <- payload;
+    fr.hslots.(4) <- WindersV target;
+    fr.hslots.(5) <- pending;
+    call_guard vm thunk ~ret:Prims.wind_ret ~frame:fr
+  end
 
 and special vm sp args ~ret ~parent ~guards =
   match sp with
@@ -160,6 +265,7 @@ and special vm sp args ~ret ~parent ~guards =
             hcont_one_shot = false;
             hcont_shot = false;
             hcont_promoted = true;
+            hcont_winders = vm.winders;
           }
       in
       (match parent with Some f -> f.hshared <- true | None -> ());
@@ -175,6 +281,7 @@ and special vm sp args ~ret ~parent ~guards =
           hcont_one_shot = true;
           hcont_shot = false;
           hcont_promoted = false;
+          hcont_winders = vm.winders;
         }
       in
       vm.stats.Stats.captures_oneshot <- vm.stats.Stats.captures_oneshot + 1;
@@ -231,6 +338,69 @@ and special vm sp args ~ret ~parent ~guards =
          | exception Not_found ->
              Values.err ("%stat: unknown counter " ^ name) []));
       return_to vm ~ret ~parent ~guards
+  | Sp_dynamic_wind -> (
+      (* Entry carries 3 arguments; resumptions re-enter through
+         [Prims.dw_resume_code] with 5 ([state] at index 3, [saved] at
+         4).  Each step allocates a fresh driver frame mirroring the
+         stack VM's layout; the frame's ret/parent/guards carry the
+         original call context, which the resume code's tail-call
+         propagates back here and state 3 finally returns through. *)
+      let n = Array.length args in
+      let state =
+        if n = 3 then 0
+        else if n = 5 then
+          match args.(3) with
+          | Int s -> s
+          | v -> Values.err "heapvm: corrupt %dynamic-wind frame" [ v ]
+        else Values.err "%dynamic-wind: expected 3 arguments" []
+      in
+      let before = args.(0) and thunk = args.(1) and after = args.(2) in
+      let saved = if n = 3 then Void else args.(4) in
+      match state with
+      | 0 | 1 | 2 ->
+          let fr = alloc_frame vm ~words:7 ~ret ~parent ~guards in
+          fr.hslots.(1) <- Prim Prims.dw_prim;
+          fr.hslots.(2) <- before;
+          fr.hslots.(3) <- thunk;
+          fr.hslots.(4) <- after;
+          fr.hslots.(5) <- Int state;
+          fr.hslots.(6) <- saved;
+          let g, r =
+            match state with
+            | 0 -> (before, Prims.dw_ret_before)
+            | 1 ->
+                (* before returned: enter the extent, run the thunk *)
+                vm.winders <-
+                  { w_before = before; w_after = after } :: vm.winders;
+                (thunk, Prims.dw_ret_thunk)
+            | _ ->
+                (* thunk returned ([saved] holds its value): leave the
+                   extent before running the after thunk *)
+                (match vm.winders with
+                | _ :: rest -> vm.winders <- rest
+                | [] -> ());
+                (after, Prims.dw_ret_after)
+          in
+          call_guard vm g ~ret:r ~frame:fr
+      | 3 ->
+          vm.acc <- saved;
+          return_to vm ~ret ~parent ~guards
+      | _ -> Values.err "heapvm: corrupt %dynamic-wind frame" [ args.(3) ])
+  | Sp_wind ->
+      (* Guard return re-entering the wind trampoline. *)
+      if Array.length args <> 4 then
+        Values.err "%wind: internal primitive" [];
+      (match args.(3) with
+      | WindersV w ->
+          (* A before thunk just returned: commit its extent. *)
+          vm.winders <- w
+      | _ -> ());
+      let target =
+        match args.(2) with
+        | WindersV w -> w
+        | v -> Values.err "heapvm: corrupt wind frame" [ v ]
+      in
+      wind_go vm args.(0) args.(1) target ~ret ~parent ~guards
 
 (* Return a value through an explicit (ret, parent, guards) context, as a
    primitive in tail position does. *)
@@ -247,9 +417,20 @@ and return_to vm ~ret ~parent ~guards =
 
 let fire_timer vm =
   let handler = vm.timer_handler in
-  happly vm handler [||]
-    ~ret:(Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = 0 })
-    ~parent:(Some vm.frame) ~guards:[]
+  let code = vm.code in
+  (* Same interning as the stack VM's [fire_timer]: the fire point is a
+     constant of [code], so allocate the return address once.  rdisp is 0
+     here (heap frames carry no displacement), which the guard also
+     checks in case a code object is shared across backends. *)
+  let ra =
+    match code.timer_ret with
+    | Retaddr r as ra when r.rpc = vm.pc && r.rdisp = 0 -> ra
+    | _ ->
+        let ra = Retaddr { rcode = code; rpc = vm.pc; rdisp = 0 } in
+        code.timer_ret <- ra;
+        ra
+  in
+  happly vm handler [||] ~ret:ra ~parent:(Some vm.frame) ~guards:[]
 
 let enter vm =
   let c = vm.code in
@@ -495,6 +676,7 @@ let run ?(fuel = -1) vm code =
   vm.nargs <- 0;
   vm.acc <- Void;
   vm.halted <- false;
+  vm.winders <- [];
   if fuel < 0 then
     while not vm.halted do
       step_catching vm

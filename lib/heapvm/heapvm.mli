@@ -30,6 +30,8 @@ type t = {
   mutable timer : int;
   mutable timer_handler : Rt.value;
   mutable halted : bool;
+  mutable winders : Rt.winder list;
+      (** native dynamic-wind chain, innermost extent first *)
 }
 
 exception Vm_fuel_exhausted

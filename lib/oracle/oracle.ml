@@ -8,6 +8,8 @@ type t = {
   out : Buffer.t;
   mutable fuel : int; (* negative = unlimited *)
   mutable oneshots : oneshot_state list; (* outstanding one-shot captures *)
+  mutable winders : winder list; (* native dynamic-wind extents, innermost
+                                    first; shares structure across captures *)
 }
 
 exception Fuel_exhausted
@@ -21,7 +23,14 @@ let create () =
   let out = Buffer.create 256 in
   let globals = Globals.create () in
   Prims.install ~out globals;
-  { globals; menv = Macro.create_menv (); out; fuel = -1; oneshots = [] }
+  {
+    globals;
+    menv = Macro.create_menv ();
+    out;
+    fuel = -1;
+    oneshots = [];
+    winders = [];
+  }
 
 let globals t = t.globals
 let output t = Buffer.contents t.out
@@ -54,13 +63,61 @@ let rec apply t f (args : value array) (k : value -> value) : value =
       special t sp args k
   | v -> Values.err "application of non-procedure" [ v ]
 
+(* Run the afters/befores needed to move the machine's winder chain from
+   its current state to [target], then continue with [fin].  The chains
+   share structure (the winder list is a stack), so the common tail is
+   found by physical equality after length alignment — the oracle-level
+   mirror of the prelude's [%common-tail]/[%do-winds] protocol.  Ordering
+   matches the Scheme code exactly: unwind pops the chain *before* running
+   the after (innermost first); rewind runs the before *before* committing
+   the chain (outermost first). *)
+and do_winds t target fin =
+  let cur = t.winders in
+  if cur == target then fin ()
+  else begin
+    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+    let lc = List.length cur and lt = List.length target in
+    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
+    let base =
+      common
+        (if lc > lt then drop (lc - lt) cur else cur)
+        (if lt > lc then drop (lt - lc) target else target)
+    in
+    if cur != base then
+      match cur with
+      | w :: rest ->
+          t.winders <- rest;
+          apply t w.w_after [||] (fun _ -> do_winds t target fin)
+      | [] -> assert false
+    else
+      (* Rewind: run the before of the outermost not-yet-entered extent —
+         the node of [target] whose tail is the current chain. *)
+      let rec find l =
+        match l with
+        | w :: rest when rest == cur -> (w, l)
+        | _ :: rest -> find rest
+        | [] -> assert false
+      in
+      let w, node = find target in
+      apply t w.w_before [||] (fun _ ->
+          t.winders <- node;
+          do_winds t target fin)
+  end
+
 and special t sp args k =
   match sp with
   | Sp_callcc ->
       (* Over-approximate promotion: see interface comment. *)
       List.iter (fun o -> o.promoted := true) t.oneshots;
+      let saved = t.winders in
       let kv =
-        Ofun { oname = "continuation"; ofn = (fun vals _ -> k (one_value vals)) }
+        Ofun
+          {
+            oname = "continuation";
+            ofn =
+              (fun vals _ ->
+                do_winds t saved (fun () -> k (one_value vals)));
+          }
       in
       apply t args.(0) [| kv |] k
   | Sp_call1cc ->
@@ -72,20 +129,38 @@ and special t sp args k =
           st.shot := true
         end
       in
+      let saved = t.winders in
       let kv =
         Ofun
           {
             oname = "one-shot-continuation";
             ofn =
               (fun vals _ ->
-                consume ();
-                k (one_value vals));
+                (* Winds run first; the shot check fires when the raw
+                   continuation is finally applied, as in the prelude's
+                   wrapper. *)
+                do_winds t saved (fun () ->
+                    consume ();
+                    k (one_value vals)));
           }
       in
       apply t args.(0) [| kv |] (fun v ->
           (* Normal return from the receiver consumes the extent too. *)
           consume ();
           k v)
+  | Sp_dynamic_wind ->
+      let before = args.(0) and thunk = args.(1) and after = args.(2) in
+      apply t before [||] (fun _ ->
+          t.winders <- { w_before = before; w_after = after } :: t.winders;
+          apply t thunk [||] (fun result ->
+              (match t.winders with
+              | _ :: rest -> t.winders <- rest
+              | [] -> ());
+              apply t after [||] (fun _ -> k result)))
+  | Sp_wind ->
+      (* Internal trampoline driver of the stack/heap VMs; the oracle's
+         winds are direct OCaml recursion, so it can never be applied. *)
+      Values.err "%wind: internal primitive" []
   | Sp_apply ->
       let f = args.(0) in
       let n = Array.length args in

@@ -53,7 +53,7 @@ let backpatch code =
 
 let make_code ~name ~arity ~frame_words instrs =
   validate ~name instrs;
-  let code = { instrs; cname = name; arity; frame_words } in
+  let code = { instrs; cname = name; arity; frame_words; timer_ret = Void } in
   backpatch code;
   code
 

@@ -34,6 +34,8 @@ type value =
   (* Runtime-internal values stored in stack frames; never seen by Scheme. *)
   | Retaddr of retaddr
   | Underflow_mark                       (* bottom-of-segment return slot *)
+  | WindersV of winder list              (* winder chain stashed in a wind
+                                            trampoline frame slot *)
 
 and pair = { mutable car : value; mutable cdr : value }
 and closure = { code : code; frees : value array }
@@ -53,6 +55,14 @@ and code = {
   frame_words : int;                     (* max frame extent: one overflow
                                             check at [Enter] covers every
                                             in-frame write the body performs *)
+  mutable timer_ret : value;             (* interned [Retaddr] for the timer
+                                            fire at procedure entry: the pc
+                                            and displacement are fixed per
+                                            code object, so the record is
+                                            built once on first fire instead
+                                            of once per preemption.  [Void]
+                                            until then; guarded on rpc/rdisp
+                                            before reuse. *)
 }
 
 and arity = Exactly of int | At_least of int
@@ -173,6 +183,18 @@ and special =
   | Sp_stats                             (* (%stat 'name) : read a counter *)
   | Sp_backtrace                         (* (%backtrace) : walk the frames *)
   | Sp_eval                              (* (eval datum) : compile and run *)
+  | Sp_dynamic_wind                      (* (%dynamic-wind before thunk after):
+                                            native winders protocol *)
+  | Sp_wind                              (* internal wind trampoline driver;
+                                            never bound to a global *)
+
+(* A dynamic-wind extent recorded on the machine's native winder chain:
+   [w_before] / [w_after] are the guard thunks.  The chain is a stack —
+   the head is the innermost extent — and shares structure exactly as the
+   Scheme-level [%winders] list it replaces, so a captured continuation
+   records the chain by keeping one pointer ([cont.k_winders]) and the
+   rewind/unwind comparison is physical equality. *)
+and winder = { w_before : value; w_after : value }
 
 (* One-shot/multi-shot stack records, exactly the paper's Figure 1/2 layout.
    A record describes the slice [base, base+size) of [seg].  For the active
@@ -197,6 +219,8 @@ and stack_record = {
 and cont = {
   sr : stack_record;
   one_shot : bool;                       (* which operator captured it *)
+  k_winders : winder list;               (* winder chain at capture time;
+                                            invocation winds/unwinds to it *)
 }
 
 (* Heap-model frames (the Appel/MacQueen-style baseline VM): each frame is
@@ -218,6 +242,7 @@ and hcont = {
   hcont_one_shot : bool;
   mutable hcont_shot : bool;
   mutable hcont_promoted : bool;
+  hcont_winders : winder list;           (* winder chain at capture time *)
 }
 
 and ofun = {

@@ -22,6 +22,7 @@ let type_name = function
   | Tbl _ -> "hashtable"
   | Retaddr _ -> "return-address"
   | Underflow_mark -> "underflow-mark"
+  | WindersV _ -> "winders"
 
 let type_error who expected got =
   err
@@ -179,6 +180,7 @@ and render_v ~seen ~budget ~write buf v =
   | Tbl t -> str (Printf.sprintf "#<hashtable %d>" (Hashtbl.length t))
   | Retaddr r -> str (Printf.sprintf "#<retaddr %s+%d>" r.rcode.cname r.rpc)
   | Underflow_mark -> str "#<underflow>"
+  | WindersV w -> str (Printf.sprintf "#<winders %d>" (List.length w))
 
 and render_pair ~seen ~budget ~write buf v =
   Buffer.add_char buf '(';

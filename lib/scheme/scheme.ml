@@ -25,7 +25,8 @@ let eval_machine ?fuel t src =
   | M_oracle o -> Oracle.eval ?fuel o src
 
 let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
-    ?(corpus = false) ?(optimize = false) ?(peephole = true) () =
+    ?(scheme_winders = false) ?(corpus = false) ?(optimize = false)
+    ?(peephole = true) () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let machine =
     match backend with
@@ -34,7 +35,11 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     | Oracle -> M_oracle (Oracle.create ())
   in
   let t = { which = backend; machine; stats; optimize; peephole } in
-  if prelude then ignore (eval_machine t Prelude.source);
+  if prelude then
+    ignore
+      (eval_machine t
+         (if scheme_winders then Prelude.source_scheme_winders
+          else Prelude.source));
   if corpus then begin
     ignore (eval_machine t Programs.all_defs);
     ignore (eval_machine t Threads.scheduler);

@@ -16,12 +16,15 @@ type backend =
 type t
 
 val create :
-  ?backend:backend -> ?stats:Stats.t -> ?prelude:bool -> ?corpus:bool ->
-  ?optimize:bool -> ?peephole:bool -> unit -> t
-(** Defaults: [Stack Control.default_config], prelude loaded, benchmark
-    corpus definitions not loaded, AST optimizer off (see {!Optimize}),
-    bytecode peephole fusion on ([?peephole:false] executes the unfused
-    bytecode, e.g. for differential testing). *)
+  ?backend:backend -> ?stats:Stats.t -> ?prelude:bool ->
+  ?scheme_winders:bool -> ?corpus:bool -> ?optimize:bool ->
+  ?peephole:bool -> unit -> t
+(** Defaults: [Stack Control.default_config], prelude loaded with the
+    native winder protocol ([?scheme_winders:true] loads the historical
+    Scheme-level [%winders] implementation instead, for differential
+    testing), benchmark corpus definitions not loaded, AST optimizer off
+    (see {!Optimize}), bytecode peephole fusion on ([?peephole:false]
+    executes the unfused bytecode, e.g. for differential testing). *)
 
 val backend : t -> backend
 val eval : ?fuel:int -> t -> string -> Rt.value

@@ -141,6 +141,79 @@ let pure name arity f = (name, { pname = name; parity = arity; pfn = Pure f })
 let special name arity s =
   (name, { pname = name; parity = arity; pfn = Special s })
 
+(* ------------------------------------------------------------------ *)
+(* Native dynamic-wind machinery                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Hidden code objects driving the native winder protocol.  Neither is
+   ever produced by the compiler: their interned return addresses are
+   pushed by the VM dispatch loops when a [%dynamic-wind] extent or a
+   wind trampoline calls one of the guard thunks, so that "the thunk
+   returned" resumes these few instructions, which immediately tail-call
+   back into the special with a state argument.  This keeps the whole
+   protocol re-entrant through capture: a continuation captured inside
+   a [before]/[after] thunk snapshots ordinary frames whose return
+   addresses point here, and reinstating it re-runs the tail-call with
+   the state slots it finds in the restored frame.
+
+   [%dynamic-wind] frame layout (fp-relative):
+     0 ret | 1 prim | 2 before | 3 thunk | 4 after | 5 state | 6 saved
+   with the guard/thunk call area at 7 ([ret][callee]).  The entry call
+   carries 3 arguments; resumptions tail-call with 5, which is how the
+   special's handler distinguishes the states.  States: 1 = before
+   returned, 2 = thunk returned ([saved] holds its value), 3 = after
+   returned. *)
+let dw_resume_code =
+  {
+    instrs =
+      [|
+        (* pc 0: before returned *)
+        Const_push (Int 1, 5);
+        Tail_call { disp = 0; nargs = 5 };
+        (* pc 2: thunk returned; stash its value *)
+        Local_set 6;
+        Const_push (Int 2, 5);
+        Tail_call { disp = 0; nargs = 5 };
+        (* pc 5: after returned *)
+        Const_push (Int 3, 5);
+        Tail_call { disp = 0; nargs = 5 };
+      |];
+    cname = "%dynamic-wind";
+    arity = At_least 0;
+    frame_words = 11;
+    timer_ret = Void;
+  }
+
+let dw_ret_before = Retaddr { rcode = dw_resume_code; rpc = 0; rdisp = 7 }
+let dw_ret_thunk = Retaddr { rcode = dw_resume_code; rpc = 2; rdisp = 7 }
+let dw_ret_after = Retaddr { rcode = dw_resume_code; rpc = 5; rdisp = 7 }
+
+(* Wind-trampoline frame layout (fp-relative):
+     0 ret | 1 %wind | 2 k | 3 payload | 4 target winders | 5 pending
+   with the guard call area at 6.  [pending] is [Bool false] or
+   [WindersV w]: a rewind stores the chain to commit *after* the before
+   thunk returns (the prelude's ordering), an unwind commits eagerly
+   before running the after thunk.  Every guard return tail-calls back
+   into [Sp_wind] for the next step; when the machine's chain reaches
+   the target the trampoline finally reinstates [k] with [payload]. *)
+let wind_resume_code =
+  {
+    instrs = [| Tail_call { disp = 0; nargs = 4 } |];
+    cname = "%wind";
+    arity = At_least 0;
+    frame_words = 10;
+    timer_ret = Void;
+  }
+
+let wind_ret = Retaddr { rcode = wind_resume_code; rpc = 0; rdisp = 6 }
+
+(* [%wind] is deliberately absent from the global table: it is reachable
+   only through frames the machines build themselves. *)
+let wind_prim = { pname = "%wind"; parity = At_least 4; pfn = Special Sp_wind }
+
+let dw_prim =
+  { pname = "%dynamic-wind"; parity = At_least 3; pfn = Special Sp_dynamic_wind }
+
 let the_prims ~out : (string * prim) list =
   let display_v v =
     Buffer.add_string out (Values.display_string v);
@@ -699,6 +772,7 @@ let the_prims ~out : (string * prim) list =
     (* -- control specials (handled by the machine loops) ---------------- *)
     special "%call/cc" (Exactly 1) Sp_callcc;
     special "%call/1cc" (Exactly 1) Sp_call1cc;
+    ("%dynamic-wind", dw_prim);
     special "apply" (At_least 2) Sp_apply;
     special "values" (At_least 0) Sp_values;
     special "%set-timer!" (Exactly 2) Sp_set_timer;

@@ -15,3 +15,32 @@ val the_prims : out:Buffer.t -> (string * Rt.prim) list
 val check_int : string -> Rt.value -> int
 val check_pair : string -> Rt.value -> Rt.pair
 val check_procedure : string -> Rt.value -> Rt.value
+
+(** {1 Native dynamic-wind machinery}
+
+    Hidden code objects and interned return addresses shared by the two
+    VM dispatch loops.  See the comments in the implementation for the
+    frame layouts and the state machine. *)
+
+val dw_prim : Rt.prim
+(** The [%dynamic-wind] special, also registered in the global table. *)
+
+val dw_resume_code : Rt.code
+val wind_resume_code : Rt.code
+(** The hidden code objects the interned return addresses below point
+    into.  The VMs also preset [code]/[pc] to the resumption point
+    before calling a guard thunk, so a guard that is a pure primitive
+    (which pushes no frame and returns by falling through) continues
+    the protocol exactly as a closure returning normally would. *)
+
+val dw_ret_before : Rt.value
+val dw_ret_thunk : Rt.value
+val dw_ret_after : Rt.value
+(** Interned return addresses pushed when [%dynamic-wind] calls its
+    before / thunk / after procedures; each resumes [dw_resume_code]. *)
+
+val wind_prim : Rt.prim
+(** The internal wind-trampoline special; never bound to a global. *)
+
+val wind_ret : Rt.value
+(** Interned return address for guard thunks run by the trampoline. *)

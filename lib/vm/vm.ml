@@ -13,6 +13,10 @@ type t = {
   mutable timer_handler : value;
   mutable halted : bool;
   mutable fuel : int;
+  mutable winders : winder list;
+      (* native dynamic-wind chain, innermost first; shares structure
+         with the [k_winders] snapshots of captured continuations, so
+         rewind/unwind targets compare by physical equality *)
   scratch : value array array;
       (* scratch.(k), k <= max_scratch, is a reusable length-k argument
          buffer for pure-primitive application: no per-call Array.init.
@@ -31,21 +35,41 @@ let create ?(config = Control.default_config) ?stats () =
   let out = Buffer.create 256 in
   let globals = Globals.create () in
   Prims.install ~out globals;
-  {
-    m = Control.create ?stats config;
-    globals;
-    menv = Macro.create_menv ();
-    out;
-    acc = Void;
-    code = halt_code;
-    pc = 0;
-    nargs = 0;
-    timer = -1;
-    timer_handler = Void;
-    halted = false;
-    fuel = -1;
-    scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
-  }
+  let vm =
+    {
+      m = Control.create ?stats config;
+      globals;
+      menv = Macro.create_menv ();
+      out;
+      acc = Void;
+      code = halt_code;
+      pc = 0;
+      nargs = 0;
+      timer = -1;
+      timer_handler = Void;
+      halted = false;
+      fuel = -1;
+      winders = [];
+      scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
+    }
+  in
+  (* The timer accessors are per-machine state with no control effect, so
+     rebind them as [Pure] primitives closing over this vm: pure prims
+     are applied in-line (no frame, no special dispatch) and are eligible
+     for primitive-call fusion.  The scheduler re-arms the timer once per
+     context switch, which made the generic special-call round trip
+     measurable hot-path overhead in experiment e2.  The [Special]
+     handlers remain as the fallback semantics of record. *)
+  let pure name parity fn =
+    Globals.define globals name (Prim { pname = name; parity; pfn = Pure fn })
+  in
+  pure "%set-timer!" (Exactly 2) (fun args ->
+      let ticks = Prims.check_int "%set-timer!" args.(0) in
+      vm.timer_handler <- args.(1);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      Void);
+  pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
+  vm
 
 let stats vm = vm.m.Control.stats
 let output vm = Buffer.contents vm.out
@@ -163,11 +187,113 @@ and invoke_continuation vm c nfp nargs =
     else if nargs = 2 then Mvals [ seg.(nfp + 2); seg.(nfp + 3) ]
     else Mvals (collect_list seg (nfp + 2) (nargs - 1) [])
   in
+  (* Fast path: the machine already sits at the continuation's winder
+     chain (physical equality) — reinstate directly.  Under the
+     [--scheme-winders] prelude both chains stay [[]], so this is
+     exactly the historical behavior. *)
+  if c.k_winders == vm.winders then reinstate_cont vm c v
+  else start_wind vm c v
+
+and reinstate_cont vm c v =
+  let m = vm.m in
   let r = Control.reinstate m c.sr in
   vm.code <- r.rcode;
   vm.pc <- r.rpc;
   ensure_resumed_frame_room vm;
   vm.acc <- v
+
+(* The winder chains differ: push a wind-trampoline frame above the
+   current frame and step it.  The frame records the continuation, its
+   payload, the target chain and a pending-commit slot (see the layout
+   comment in [Prims]); every guard thunk returns through [wind_ret],
+   whose single instruction tail-calls back into [Sp_wind].  Capturing
+   inside a guard therefore snapshots ordinary frames and the protocol
+   survives re-entry. *)
+and start_wind vm c v =
+  let m = vm.m in
+  let fw = vm.code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 12);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let dfp = fp + fw in
+  seg.(dfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  seg.(dfp + 1) <- Prim Prims.wind_prim;
+  seg.(dfp + 2) <- Cont c;
+  seg.(dfp + 3) <- v;
+  seg.(dfp + 4) <- WindersV c.k_winders;
+  seg.(dfp + 5) <- Bool false;
+  m.Control.fp <- dfp;
+  wind_step vm
+
+(* One trampoline step.  fp is at a wind frame; room for the guard call
+   area (fp+6, fp+7) is guaranteed by [start_wind]'s [ensure_room] on
+   entry and by [wind_resume_code.frame_words] on every re-entry.
+   Ordering matches the prelude's [%do-winds] exactly: an unwind pops
+   the machine chain *before* running the after thunk (innermost
+   first); a rewind runs the before thunk first and commits the chain
+   only when it returns (outermost first), via the pending slot. *)
+and wind_step vm =
+  let m = vm.m in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  (match seg.(fp + 5) with
+  | WindersV w ->
+      (* A before thunk just returned: commit its extent. *)
+      vm.winders <- w;
+      seg.(fp + 5) <- Bool false
+  | _ -> ());
+  let target =
+    match seg.(fp + 4) with
+    | WindersV w -> w
+    | v -> Values.err "vm: corrupt wind frame" [ v ]
+  in
+  let cur = vm.winders in
+  if cur == target then
+    (* Done: reinstate.  A shot one-shot record raises here, after the
+       winds have run — the same point the Scheme wrapper checks. *)
+    match seg.(fp + 2) with
+    | Cont c -> reinstate_cont vm c seg.(fp + 3)
+    | v -> Values.err "vm: corrupt wind frame" [ v ]
+  else begin
+    (* The chains share structure: align lengths, then walk both to the
+       physically common tail. *)
+    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+    let lc = List.length cur and lt = List.length target in
+    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
+    let base =
+      common
+        (if lc > lt then drop (lc - lt) cur else cur)
+        (if lt > lc then drop (lt - lc) target else target)
+    in
+    let thunk =
+      if cur != base then
+        match cur with
+        | w :: rest ->
+            vm.winders <- rest;
+            w.w_after
+        | [] -> assert false
+      else begin
+        (* Rewind: the next extent to enter is the node of [target]
+           whose tail is the current chain. *)
+        let rec find l =
+          match l with
+          | w :: rest when rest == cur -> (w, l)
+          | _ :: rest -> find rest
+          | [] -> assert false
+        in
+        let w, node = find target in
+        seg.(fp + 5) <- WindersV node;
+        w.w_before
+      end
+    in
+    seg.(fp + 6) <- Prims.wind_ret;
+    seg.(fp + 7) <- thunk;
+    (* Preset the resumption point for frame-less (pure) guards, as in
+       the [Sp_dynamic_wind] arms. *)
+    vm.code <- Prims.wind_resume_code;
+    vm.pc <- 0;
+    apply vm thunk (fp + 6) 0
+  end
 
 (* Specials execute with fp at their own frame: [ret][prim][args...]. *)
 and special vm sp nargs =
@@ -178,13 +304,13 @@ and special vm sp nargs =
   | Sp_callcc ->
       let p = Prims.check_procedure "%call/cc" seg.(fp + 2) in
       let sr = Control.capture_multi m in
-      let k = Cont { sr; one_shot = false } in
+      let k = Cont { sr; one_shot = false; k_winders = vm.winders } in
       tail_apply_2 vm p k
   | Sp_call1cc ->
       let p = Prims.check_procedure "%call/1cc" seg.(fp + 2) in
       let sr = Control.capture_oneshot m in
       let one_shot = not (Control.is_multi sr) in
-      let k = Cont { sr; one_shot } in
+      let k = Cont { sr; one_shot; k_winders = vm.winders } in
       tail_apply_2 vm p k
   | Sp_apply ->
       let f = Prims.check_procedure "apply" seg.(fp + 2) in
@@ -257,6 +383,56 @@ and special vm sp nargs =
       let clos = Closure { code; frees = [||] } in
       seg.(fp + 1) <- clos;
       apply vm clos fp 0
+  | Sp_dynamic_wind when nargs = 3 ->
+      (* Entry: extend the frame in place with state/saved slots
+         ([ret][prim][before][thunk][after][state][saved]) and call the
+         before thunk through [dw_ret_before].  Resumptions re-enter
+         this special via [Prims.dw_resume_code] with nargs = 5. *)
+      Control.ensure_room m ~live_top:(fp + 5) ~need:12;
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      seg.(fp + 5) <- Int 0;
+      seg.(fp + 6) <- Void;
+      let before = seg.(fp + 2) in
+      seg.(fp + 7) <- Prims.dw_ret_before;
+      seg.(fp + 8) <- before;
+      (* Preset the resumption point: a pure-primitive guard pushes no
+         frame and falls through to [relaunch], which must land exactly
+         where a normal return through the ret slot would. *)
+      vm.code <- Prims.dw_resume_code;
+      vm.pc <- 0;
+      apply vm before (fp + 7) 0
+  | Sp_dynamic_wind -> (
+      if nargs <> 5 then
+        Values.err "%dynamic-wind: expected 3 arguments" [];
+      match seg.(fp + 5) with
+      | Int 1 ->
+          (* before returned: enter the extent, run the thunk *)
+          vm.winders <-
+            { w_before = seg.(fp + 2); w_after = seg.(fp + 4) } :: vm.winders;
+          let thunk = seg.(fp + 3) in
+          seg.(fp + 7) <- Prims.dw_ret_thunk;
+          seg.(fp + 8) <- thunk;
+          vm.code <- Prims.dw_resume_code;
+          vm.pc <- 2;
+          apply vm thunk (fp + 7) 0
+      | Int 2 ->
+          (* thunk returned (value stashed at fp+6): leave the extent
+             *before* running the after thunk, as the prelude does *)
+          (match vm.winders with
+          | _ :: rest -> vm.winders <- rest
+          | [] -> ());
+          let after = seg.(fp + 4) in
+          seg.(fp + 7) <- Prims.dw_ret_after;
+          seg.(fp + 8) <- after;
+          vm.code <- Prims.dw_resume_code;
+          vm.pc <- 5;
+          apply vm after (fp + 7) 0
+      | Int 3 ->
+          vm.acc <- seg.(fp + 6);
+          do_return vm
+      | v -> Values.err "vm: corrupt %dynamic-wind frame" [ v ])
+  | Sp_wind -> wind_step vm
 
 (* Tail-call [p] with the single argument [k] from the current frame
    (used by the capture operations after sealing). *)
@@ -274,12 +450,26 @@ and tail_apply_2 vm p k =
 
 let fire_timer vm =
   let m = vm.m in
-  let fw = vm.code.frame_words in
+  let code = vm.code in
+  let fw = code.frame_words in
   Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 4);
   let fp = m.Control.fp in
   let seg = m.Control.sr.seg in
   let handler = vm.timer_handler in
-  seg.(fp + fw) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  (* The fire always happens at procedure entry, so the resumption point
+     (pc, displacement) is a constant of [code]: intern the return
+     address on the code object instead of allocating one per
+     preemption.  The guard keeps this sound should a future caller fire
+     from elsewhere. *)
+  let ra =
+    match code.timer_ret with
+    | Retaddr r as ra when r.rpc = vm.pc && r.rdisp = fw -> ra
+    | _ ->
+        let ra = Retaddr { rcode = code; rpc = vm.pc; rdisp = fw } in
+        code.timer_ret <- ra;
+        ra
+  in
+  seg.(fp + fw) <- ra;
   seg.(fp + fw + 1) <- handler;
   apply vm handler (fp + fw) 0
 
@@ -844,6 +1034,7 @@ let run ?(fuel = -1) vm code =
   vm.acc <- Void;
   vm.halted <- false;
   vm.fuel <- fuel;
+  vm.winders <- [];
   run_loop vm;
   vm.acc
 

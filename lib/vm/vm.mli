@@ -25,6 +25,10 @@ type t = {
   mutable timer_handler : Rt.value;
   mutable halted : bool;
   mutable fuel : int;  (** negative = unlimited *)
+  mutable winders : Rt.winder list;
+      (** native dynamic-wind chain, innermost extent first; shares
+          structure with the [k_winders] snapshots of captured
+          continuations (rewind/unwind compares physically) *)
   scratch : Rt.value array array;
       (** reusable argument buffers for pure-primitive calls:
           [scratch.(k)] has length [k]; no [Array.init] on the prim-call

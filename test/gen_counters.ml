@@ -17,6 +17,7 @@ let counter_names =
     "captures-multi";
     "captures-oneshot";
     "words-copied";
+    "cache-class-hits";
   ]
 
 let tiny_config =

@@ -84,29 +84,35 @@ let suite =
         Alcotest.(check bool) "shot" true (Control.is_shot k);
         (* the abandoned fresh segment went back to the cache *)
         Alcotest.(check bool) "recycled" true
-          (List.exists (fun s -> s == fresh_seg) m.Control.cache));
+          (Array.exists
+             (List.exists (fun s -> s == fresh_seg))
+             m.Control.cache);
+        (* the shot record is fully detached: it pins neither its adopted
+           segment nor the chain below it *)
+        Alcotest.(check int) "segment dropped" 0 (Array.length k.Rt.seg);
+        Alcotest.(check bool) "chain dropped" true (k.Rt.link = None));
     case "reinstating a shot record raises" (fun () ->
         let m = machine_with_frames 5 8 in
         let k = Control.capture_oneshot m in
         ignore (Control.reinstate m k);
         Alcotest.check_raises "shot" Rt.Shot_continuation (fun () ->
             ignore (Control.reinstate m k)));
-    case "reinstate multi copies the saved words" (fun () ->
+    case "reinstate multi (copy path) copies the saved words" (fun () ->
         let stats = Stats.create () in
         let m = machine_with_frames ~stats 3 8 in
         let k = Control.capture_multi m in
-        ignore (Control.reinstate m k);
+        ignore (Control.reinstate ~unseal:false m k);
         Alcotest.(check int) "copied" 24 stats.Stats.words_copied;
         Alcotest.(check bool) "still invocable" true
           (not (Control.is_shot k));
-        ignore (Control.reinstate m k);
+        ignore (Control.reinstate ~unseal:false m k);
         Alcotest.(check int) "copied again" 48 stats.Stats.words_copied);
     case "reinstate multi splits beyond the copy bound" (fun () ->
         let stats = Stats.create () in
         let m = machine_with_frames ~stats 10 8 in
         (* 80 words sealed, copy bound 32 *)
         let k = Control.capture_multi m in
-        ignore (Control.reinstate m k);
+        ignore (Control.reinstate ~unseal:false m k);
         Alcotest.(check bool) "split happened" true (stats.Stats.splits > 0);
         Alcotest.(check bool) "bounded copy" true
           (stats.Stats.words_copied <= 32));
@@ -114,7 +120,7 @@ let suite =
         let stats = Stats.create () in
         let m = machine_with_frames ~stats 10 8 in
         let k = Control.capture_multi m in
-        ignore (Control.reinstate m k);
+        ignore (Control.reinstate ~unseal:false m k);
         (* the copied portion plus the content still sealed in the split
            remainder must cover the original 80 words *)
         let sealed = List.tl (Control.live_chain m.Control.sr) in
@@ -124,7 +130,8 @@ let suite =
         Alcotest.(check int) "copied + sealed" 80
           (stats.Stats.words_copied + sealed_words));
     case "promotion turns one-shot into multi" (fun () ->
-        let m = machine_with_frames 3 8 in
+        let config = { small_config with Control.promotion = Control.Eager } in
+        let m = machine_with_frames ~config 3 8 in
         let k1 = Control.capture_oneshot m in
         Alcotest.(check bool) "one-shot" false (Control.is_multi k1);
         (* push a frame on the fresh segment, then capture multi above *)
@@ -282,18 +289,179 @@ let suite =
         Alcotest.(check int) "no fresh alloc" allocs stats.Stats.seg_allocs;
         Alcotest.(check int) "no fresh words" words
           stats.Stats.seg_alloc_words);
-    case "first-fit scans past smaller cached segments" (fun () ->
+    case "a larger size class serves an exact-class miss" (fun () ->
         let m = Control.create small_config in
         let big = Control.alloc_segment m 600 in
         let small = Control.alloc_segment m 10 in
         Control.release_segment m big;
         Control.release_segment m small;
-        (* cache order: [small; big]; a 500-word request must skip the
-           256-word head and take the 768-word array behind it. *)
+        (* classes: [small] in class 0 (256 words), [big] in class 2 (768);
+           a 500-word request (class 1, empty) must scan upward and take
+           the 768-word array, leaving the 256-word one alone. *)
         let got = Control.alloc_segment m 500 in
         Alcotest.(check bool) "took the big one" true (got == big);
         let got' = Control.alloc_segment m 1 in
         Alcotest.(check bool) "small one still cached" true (got' == small));
+    (* ---- size-classed cache behavior ---- *)
+    case "class-exact reuse pops O(1) and is counted" (fun () ->
+        let stats = Stats.create () in
+        let m = Control.create ~stats small_config in
+        let seg = Control.alloc_segment m 256 in
+        Control.release_segment m seg;
+        let hits = stats.Stats.cache_class_hits in
+        let got = Control.alloc_segment m 256 in
+        Alcotest.(check bool) "same array" true (got == seg);
+        Alcotest.(check int) "class hit" (hits + 1) stats.Stats.cache_class_hits);
+    case "exact-class miss is counted even when a larger class serves"
+      (fun () ->
+        let stats = Stats.create () in
+        let m = Control.create ~stats small_config in
+        let big = Control.alloc_segment m 600 in
+        Control.release_segment m big;
+        let misses = stats.Stats.cache_class_misses in
+        let hits = stats.Stats.cache_hits in
+        let got = Control.alloc_segment m 300 (* class 1: empty *) in
+        Alcotest.(check bool) "served by class 2" true (got == big);
+        Alcotest.(check int) "class miss" (misses + 1)
+          stats.Stats.cache_class_misses;
+        Alcotest.(check int) "still a cache hit" (hits + 1)
+          stats.Stats.cache_hits);
+    case "cache_max is enforced across classes" (fun () ->
+        let config = { small_config with Control.cache_max = 2 } in
+        let m = Control.create config in
+        let a = Control.alloc_segment m 256 in
+        let b = Control.alloc_segment m 512 in
+        let c = Control.alloc_segment m 768 in
+        (* the machine's own initial segment is already cached or not;
+           normalize by clearing first *)
+        Control.clear_cache m;
+        Control.release_segment m a;
+        Control.release_segment m b;
+        Control.release_segment m c;
+        Alcotest.(check int) "bounded" 2 m.Control.cache_len);
+    case "cache_words_hw tracks the parked-words high-water" (fun () ->
+        let stats = Stats.create () in
+        let m = Control.create ~stats small_config in
+        Control.clear_cache m;
+        let hw0 = stats.Stats.cache_words_hw in
+        let a = Control.alloc_segment m 256 in
+        let b = Control.alloc_segment m 512 in
+        Control.release_segment m a;
+        Control.release_segment m b;
+        Alcotest.(check bool) "high-water grew" true
+          (stats.Stats.cache_words_hw >= hw0 + 256 + 512);
+        let hw = stats.Stats.cache_words_hw in
+        ignore (Control.alloc_segment m 256);
+        Alcotest.(check int) "popping does not lower the mark" hw
+          stats.Stats.cache_words_hw);
+    case "the mixed top bucket is searched first-fit" (fun () ->
+        (* both arrays land in the last class (>= 8 * seg_words) *)
+        let m = Control.create small_config in
+        let huge = Control.alloc_segment m (16 * 256) in
+        let big = Control.alloc_segment m (9 * 256) in
+        Control.release_segment m huge;
+        Control.release_segment m big;
+        (* bucket order: [big; huge]; a 12-segment request must skip the
+           9-segment head and take the 16-segment array behind it *)
+        let got = Control.alloc_segment m (12 * 256) in
+        Alcotest.(check bool) "took the huge one" true (got == huge);
+        let got' = Control.alloc_segment m (9 * 256) in
+        Alcotest.(check bool) "big one still cached" true (got' == big));
+    (* ---- unseal fast path ---- *)
+    case "invoking the adjacent seal reopens it in place" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 3 8 in
+        let seg = m.Control.sr.Rt.seg in
+        let k = Control.capture_multi m in
+        ignore (Control.reinstate m k);
+        Alcotest.(check int) "unsealed" 1 stats.Stats.unseals;
+        (* only the top frame moved (copied aside for re-invocation) *)
+        Alcotest.(check int) "one frame copied" 8 stats.Stats.words_copied;
+        Alcotest.(check bool) "same segment" true
+          (m.Control.sr.Rt.seg == seg);
+        (* resumed exactly where the sealed top frame lives *)
+        Alcotest.(check int) "fp at top frame" 16 m.Control.fp;
+        Alcotest.(check int) "base reopened" 16 m.Control.sr.Rt.base;
+        (* the rest of the content stays sealed below, zero copy *)
+        (match m.Control.sr.Rt.link with
+        | Some krest ->
+            Alcotest.(check bool) "rest still in segment" true
+              (krest.Rt.seg == seg);
+            Alcotest.(check int) "rest sealed" 16 krest.Rt.current
+        | None -> Alcotest.fail "expected a sealed remainder"));
+    case "re-invoking an unsealed record rebuilds the same state" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 3 8 in
+        let k = Control.capture_multi m in
+        let r1 = Control.reinstate m k in
+        let fp1 = m.Control.fp in
+        let saved = m.Control.sr.Rt.seg.(m.Control.fp + 1) in
+        (* the resumed code damages the reopened top frame *)
+        m.Control.sr.Rt.seg.(m.Control.fp + 1) <- Rt.Int 999;
+        Alcotest.(check bool) "still invocable" true
+          (not (Control.is_shot k) && Control.is_multi k);
+        let r2 = Control.reinstate m k in
+        Alcotest.(check bool) "same resume point" true (r1 == r2);
+        Alcotest.(check int) "same frame position" fp1 m.Control.fp;
+        Alcotest.(check bool) "frame content restored" true
+          (m.Control.sr.Rt.seg.(m.Control.fp + 1) = saved);
+        Alcotest.(check int) "only one unseal" 1 stats.Stats.unseals);
+    case "underflow never takes the unseal path" (fun () ->
+        let stats = Stats.create () in
+        let m = machine_with_frames ~stats 3 8 in
+        ignore (Control.capture_multi m);
+        (* return through the seal: fp is already at the empty base *)
+        (match Control.underflow m with
+        | Some r -> Alcotest.(check int) "resume disp" 8 r.Rt.rdisp
+        | None -> Alcotest.fail "expected a resume point");
+        Alcotest.(check int) "no unseal" 0 stats.Stats.unseals;
+        Alcotest.(check int) "bulk copy" 24 stats.Stats.words_copied);
+    (* ---- backtrace across a shot record ---- *)
+    case "backtrace marks a shot record instead of truncating" (fun () ->
+        let config =
+          { small_config with Control.oneshot_seal = Control.Seal_displacement 16 }
+        in
+        let m = machine_with_frames ~config 3 8 in
+        let k1 = Control.capture_oneshot m in
+        (* push two frames above the sealed slice, then seal them too *)
+        for _ = 1 to 2 do
+          let fp = m.Control.fp in
+          m.Control.sr.Rt.seg.(fp + 8) <- retaddr ~disp:8;
+          m.Control.fp <- fp + 8
+        done;
+        let k2 = Control.capture_oneshot m in
+        (* shoot k1 (escaping below k2), then re-enter k2: its chain now
+           crosses the consumed k1 *)
+        ignore (Control.reinstate m k1);
+        ignore (Control.reinstate m k2);
+        let names = Control.backtrace m in
+        Alcotest.(check (list string)) "sentinel frame" [ "t"; "<shot>" ]
+          names);
+    (* ---- debug identity table ---- *)
+    case "debug identities are per-machine and off by default" (fun () ->
+        let was = !Control.debug in
+        Fun.protect
+          ~finally:(fun () -> Control.debug := was)
+          (fun () ->
+            Control.debug := false;
+            let m1 = Control.create small_config in
+            Alcotest.(check int) "off: no id" 0
+              (Control.id_of m1 m1.Control.sr);
+            Alcotest.(check bool) "off: no table" true
+              (m1.Control.dbg_ids = []);
+            Control.debug := true;
+            Alcotest.(check int) "first id" 1 (Control.id_of m1 m1.Control.sr);
+            Alcotest.(check int) "stable id" 1 (Control.id_of m1 m1.Control.sr);
+            Alcotest.(check int) "one entry" 1 (List.length m1.Control.dbg_ids);
+            (* a second machine starts fresh and does not disturb the
+               first machine's table (the old module-global table leaked
+               every traced record across machines) *)
+            let m2 = Control.create small_config in
+            Alcotest.(check bool) "fresh table" true (m2.Control.dbg_ids = []);
+            Alcotest.(check int) "ids restart" 1
+              (Control.id_of m2 m2.Control.sr);
+            Alcotest.(check int) "m1 undisturbed" 1
+              (List.length m1.Control.dbg_ids)));
     case "oversized overflow segments are reused across runs" (fun () ->
         (* A frame larger than a whole segment forces an oversized
            overflow allocation; with rounding + first-fit the second run
