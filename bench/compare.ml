@@ -11,9 +11,15 @@
    so their deltas are printed for information only and never affect the
    exit status.
 
-   Experiments or counters present in only one file are listed as notes
-   (the benchmark suite is allowed to grow); a schema or mode mismatch is
-   a hard error (exit 2) because the numbers would not be comparable. *)
+   The experiment sets must match: an experiment present in only one
+   file is a failure (exit 1), not a note — a silently dropped experiment
+   would otherwise read as "no regressions" while measuring nothing, and
+   a new experiment belongs in a refreshed baseline, not an unchecked
+   side channel.  Likewise a deterministic counter recorded in the
+   baseline but absent from the current run is a failure; counters the
+   baseline never recorded are skipped (older baselines predate newer
+   counters).  A schema or mode mismatch is a hard error (exit 2)
+   because the numbers would not be comparable. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (objects, strings, numbers) -- the harness       *)
@@ -214,7 +220,10 @@ let () =
   let cur_exps =
     match obj_field cur "experiments" with Some o -> o | None -> []
   in
-  let regressions = ref 0 and improvements = ref 0 and checked = ref 0 in
+  let regressions = ref 0
+  and improvements = ref 0
+  and checked = ref 0
+  and missing = ref 0 in
   Printf.printf "comparing %s (baseline) -> %s, tolerance %.1f%%\n" base_path
     cur_path tolerance;
   Printf.printf "  %-28s %-16s %14s %14s %9s\n" "experiment" "counter"
@@ -248,7 +257,9 @@ let () =
                     Printf.printf "  %-28s %-16s %14.0f %14.0f %+8.1f%% %s\n"
                       name counter b c d tag)
               | Some _, None ->
-                  Printf.printf "  %-28s %-16s: counter missing in current\n"
+                  incr missing;
+                  Printf.printf
+                    "  %-28s %-16s: MISSING in current (baseline records it)\n"
                     name counter
               | None, _ -> ())
             deterministic;
@@ -265,20 +276,29 @@ let () =
               | _ -> ())
             informational
       | _, None ->
-          Printf.printf "  %-28s: only in baseline (suite changed?)\n" name
+          incr missing;
+          Printf.printf "  %-28s: MISSING in current (only in baseline)\n" name
       | _ -> ())
     base_exps;
   List.iter
     (fun (name, _) ->
-      if not (List.mem_assoc name base_exps) then
-        Printf.printf "  %-28s: new experiment (no baseline)\n" name)
+      if not (List.mem_assoc name base_exps) then (
+        incr missing;
+        Printf.printf
+          "  %-28s: MISSING in baseline (refresh the baseline to cover it)\n"
+          name))
     cur_exps;
   Printf.printf
-    "%d deterministic counters checked: %d regression(s), %d improvement(s)\n"
-    !checked !regressions !improvements;
-  if !regressions > 0 then (
-    Printf.printf
-      "FAIL: deterministic counters regressed beyond %.1f%% tolerance\n"
-      tolerance;
+    "%d deterministic counters checked: %d regression(s), %d improvement(s), \
+     %d missing\n"
+    !checked !regressions !improvements !missing;
+  if !regressions > 0 || !missing > 0 then (
+    if !regressions > 0 then
+      Printf.printf
+        "FAIL: deterministic counters regressed beyond %.1f%% tolerance\n"
+        tolerance;
+    if !missing > 0 then
+      Printf.printf
+        "FAIL: experiments/counters missing on one side (suites must match)\n";
     exit 1)
   else Printf.printf "OK: no deterministic-counter regressions\n"

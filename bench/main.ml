@@ -7,6 +7,8 @@
      e3    deep recursion under overflow policies (Section 4, third result)
      e4    per-frame overhead, stack vs heap      (Section 5, Appel-Shao)
      e5    dynamic-wind: deep wind/unwind with escaping one-shot conts
+     e6    session pool: --jobs N independent sessions, one domain each
+           (not in [all]; CI compares domains vs --sequential at 0%)
      a1    segment cache on/off
      a2    overflow hysteresis on/off
      a3    copy bound sweep (splitting)
@@ -682,6 +684,91 @@ let e5 ~full () =
     ((ms_s -. ms_n) /. ms_s *. 100.)
 
 (* ------------------------------------------------------------------ *)
+(* E6: session pool sharded across OCaml domains                       *)
+(* ------------------------------------------------------------------ *)
+
+let e6_jobs = ref 4
+let e6_sequential = ref false
+
+(* Not part of [all]: e6's JSON keys depend on --jobs, and [all --json]
+   must keep producing exactly the experiment set of the committed
+   baseline now that compare.exe treats a missing experiment as a
+   failure.  CI runs e6 as its own step, comparing a --jobs N domains
+   run against a --jobs N --sequential run at zero tolerance: the
+   per-shard deterministic counters must be bit-identical, which is the
+   whole point — shards share no mutable state. *)
+let e6 ~full () =
+  let jobs = max 1 !e6_jobs in
+  header
+    (Printf.sprintf
+       "E6: session pool -- %d independent sessions%s (one domain each)" jobs
+       (if !e6_sequential then ", run sequentially" else ""));
+  let src =
+    if full then
+      "(begin (set! ctak-capture %call/1cc) (fib 20) (ctak 18 12 6))"
+    else "(begin (set! ctak-capture %call/1cc) (fib 16) (ctak 14 9 5))"
+  in
+  (* Baseline: the same workload on a single one-shard pool.  Pool runs
+     include session creation and corpus load, so both sides of the
+     speedup ratio price the whole shard, not just the eval. *)
+  let _, ms_one, _ =
+    time_ms (fun () -> Scheme.Pool.run ~corpus:true ~domains:false ~jobs:1 src)
+  in
+  let shards, ms_pool, med_pool =
+    time_ms (fun () ->
+        Scheme.Pool.run ~corpus:true ~domains:(not !e6_sequential) ~jobs src)
+  in
+  (* Reference run for the determinism pin: same shards, sequentially on
+     the calling domain.  Every per-shard counter must match exactly. *)
+  let seq_shards = Scheme.Pool.run ~corpus:true ~domains:false ~jobs src in
+  let speedup = float_of_int jobs *. ms_one /. ms_pool in
+  Printf.printf "  workload/shard: %s\n" src;
+  Printf.printf "  %-8s %12s %12s %12s %8s\n" "shard" "instrs" "copied(w)"
+    "alloc(w)" "value";
+  let deterministic = ref true in
+  List.iter2
+    (fun (sh : Scheme.Pool.shard) (sq : Scheme.Pool.shard) ->
+      let st = sh.Scheme.Pool.stats and sq_st = sq.Scheme.Pool.stats in
+      Printf.printf "  %-8d %12d %12d %12d %8s\n" sh.Scheme.Pool.shard
+        st.Stats.instrs st.Stats.words_copied st.Stats.seg_alloc_words
+        (Values.write_string sh.Scheme.Pool.value);
+      if
+        st.Stats.instrs <> sq_st.Stats.instrs
+        || st.Stats.words_copied <> sq_st.Stats.words_copied
+        || st.Stats.seg_alloc_words <> sq_st.Stats.seg_alloc_words
+        || sh.Scheme.Pool.value <> sq.Scheme.Pool.value
+      then deterministic := false;
+      record
+        (Printf.sprintf "e6.shard%d" sh.Scheme.Pool.shard)
+        (stat_metrics st))
+    shards seq_shards;
+  Printf.printf "  1 shard: %.1f ms;  %d shards: %.1f ms;  speedup %.2fx\n"
+    ms_one jobs ms_pool speedup;
+  Printf.printf "  per-shard counters vs sequential run: %s\n"
+    (if !deterministic then "identical" else "MISMATCH");
+  let agg field = List.fold_left (fun a sh -> a + field sh) 0 shards in
+  record_run "e6.parallel" ms_pool ~median:med_pool
+    (let sum = Stats.create () in
+     sum.Stats.instrs <-
+       agg (fun sh -> sh.Scheme.Pool.stats.Stats.instrs);
+     sum.Stats.words_copied <-
+       agg (fun sh -> sh.Scheme.Pool.stats.Stats.words_copied);
+     sum.Stats.seg_alloc_words <-
+       agg (fun sh -> sh.Scheme.Pool.stats.Stats.seg_alloc_words);
+     sum.Stats.cache_hits <-
+       agg (fun sh -> sh.Scheme.Pool.stats.Stats.cache_hits);
+     sum)
+    ~extra:
+      [
+        ("jobs", J_int jobs);
+        ("speedup", J_float speedup);
+        ("deterministic", J_int (if !deterministic then 1 else 0));
+      ];
+  if not !deterministic then (
+    Printf.eprintf "e6: per-shard counters diverged from the sequential run\n";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -695,7 +782,7 @@ let micro () =
     ignore (Vm.eval vm Prelude.source);
     ignore (Vm.eval vm Programs.all_defs);
     ignore (Vm.eval vm Threads.scheduler);
-    let codes = Compiler.compile_string vm.Vm.globals src in
+    let codes = Compiler.compile_string (Vm.globals vm) src in
     Test.make ~name
       (Staged.stage (fun () -> ignore (Vm.run_program vm codes)))
   in
@@ -765,11 +852,25 @@ let () =
     | [] -> 1
   in
   iters := iters_arg argv;
+  let rec jobs_arg = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> k
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 1)
+    | _ :: rest -> jobs_arg rest
+    | [] -> 4
+  in
+  e6_jobs := jobs_arg argv;
+  e6_sequential := List.mem "--sequential" argv;
   let rec positional = function
     | [] -> []
     | "--full" :: rest -> positional rest
+    | "--sequential" :: rest -> positional rest
     | "--json" :: _ :: rest -> positional rest
     | "--iters" :: _ :: rest -> positional rest
+    | "--jobs" :: _ :: rest -> positional rest
     | x :: rest -> x :: positional rest
   in
   let which = match positional argv with [] -> "all" | x :: _ -> x in
@@ -785,6 +886,7 @@ let () =
   | "e3" -> e3 ~full ()
   | "e4" -> e4 ~full ()
   | "e5" -> e5 ~full ()
+  | "e6" -> e6 ~full ()
   | "a1" -> a1 ~full ()
   | "a2" -> a2 ~full ()
   | "a3" -> a3 ~full ()
@@ -797,7 +899,7 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (expected e1..e5, a1..a6, micro, all)\n" other;
+        "unknown experiment %s (expected e1..e6, a1..a6, micro, all)\n" other;
       exit 1);
   match json with
   | Some path ->

@@ -10,6 +10,51 @@
 
 open Cmdliner
 
+(* --jobs N: evaluate the program on N fully independent sessions
+   (Scheme.Pool), one OCaml domain per shard unless --sequential.  Shard
+   results print in index order, so the output is deterministic either
+   way. *)
+let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~jobs ~sequential
+    ~exprs ~files =
+  let read_file file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+  in
+  let src = String.concat "\n" (List.map read_file files @ exprs) in
+  match
+    Scheme.Pool.run ~backend ~corpus ~optimize ~peephole
+      ~domains:(not sequential) ~jobs src
+  with
+  | shards ->
+      List.iter
+        (fun (sh : Scheme.Pool.shard) ->
+          if sh.Scheme.Pool.output <> "" then print_string sh.Scheme.Pool.output;
+          if sh.Scheme.Pool.value <> Rt.Void then
+            Printf.printf "shard %d: %s\n" sh.Scheme.Pool.shard
+              (Values.write_string sh.Scheme.Pool.value);
+          if stats_flag then begin
+            Printf.eprintf "\n-- machine counters (shard %d) --\n"
+              sh.Scheme.Pool.shard;
+            List.iter
+              (fun (name, v) ->
+                if v <> 0 then Printf.eprintf "%-18s %d\n" name v)
+              (Stats.to_rows sh.Scheme.Pool.stats)
+          end)
+        shards;
+      0
+  | exception Rt.Scheme_error (msg, irritants) ->
+      Printf.eprintf "error: %s%s\n%!" msg
+        (match irritants with
+        | [] -> ""
+        | vs -> " " ^ String.concat " " (List.map Values.write_string vs));
+      1
+  | exception Rt.Shot_continuation ->
+      Printf.eprintf "error: one-shot continuation invoked twice\n%!";
+      1
+
 let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
     ~optimize ~peephole ~exprs ~files ~interactive =
   let stats = Stats.create () in
@@ -124,7 +169,7 @@ let capture_conv =
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     no_cache promotion capture scheme_winders corpus stats_flag disassemble
-    optimize no_peephole exprs files =
+    optimize no_peephole jobs sequential exprs files =
   let config =
     {
       Control.default_config with
@@ -148,8 +193,12 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
-  run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-    ~optimize ~peephole:(not no_peephole) ~exprs ~files ~interactive
+  if jobs > 1 then
+    run_pool ~backend ~corpus ~stats_flag ~optimize
+      ~peephole:(not no_peephole) ~jobs ~sequential ~exprs ~files
+  else
+    run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
+      ~optimize ~peephole:(not no_peephole) ~exprs ~files ~interactive
 
 let cmd =
   let backend =
@@ -252,6 +301,23 @@ let cmd =
             "Disable the bytecode peephole pass (superinstruction fusion and \
              inline-cached primitive calls).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Evaluate the program on $(docv) fully independent sessions \
+             (Scheme.Pool), one OCaml domain per shard.")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:
+            "With --jobs, run the shards one after another on the calling \
+             domain instead of spawning domains (results are identical; \
+             only the wall-clock changes).")
+  in
   let exprs =
     Arg.(
       value & opt_all string []
@@ -264,7 +330,8 @@ let cmd =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
-      $ stats_flag $ disassemble $ optimize $ no_peephole $ exprs $ files)
+      $ stats_flag $ disassemble $ optimize $ no_peephole $ jobs $ sequential
+      $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

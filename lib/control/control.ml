@@ -15,6 +15,7 @@ type config = {
   cache_max : int;
   promotion : promotion_strategy;
   capture : capture_strategy;
+  debug : bool;
 }
 
 let default_config =
@@ -28,6 +29,10 @@ let default_config =
     cache_max = 1024;
     promotion = Shared_flag;
     capture = Seal;
+    (* The environment only seeds the default; the live toggle is the
+       per-machine config field, so one session's tracing can never leak
+       into another's. *)
+    debug = Sys.getenv_opt "CONTROL_DEBUG" <> None;
   }
 
 (* Number of size classes in the segment cache.  Class [c] (for
@@ -151,16 +156,14 @@ let fresh_record seg ~base ~size ~link =
   { seg; base; size; current = 0; link; ret = Void; promoted = ref false }
 
 (* Debug record identities (CONTROL_DEBUG traces only).  The table is
-   populated solely under [!debug] — identity lookups are O(n) in the
+   populated solely under [cfg.debug] — identity lookups are O(n) in the
    number of live records traced, which is fine for a trace aid but must
    never be paid (or leak) on production paths.  It lives in the machine
    itself (it used to be module-global), so one machine's traced records
    are never pinned by another machine's lifetime, and a machine's table
    dies with the machine. *)
-let debug = ref (Sys.getenv_opt "CONTROL_DEBUG" <> None)
-
 let id_of m (r : stack_record) =
-  if not !debug then 0
+  if not m.cfg.debug then 0
   else
     match List.find_opt (fun (r', _) -> r' == r) m.dbg_ids with
     | Some (_, i) -> i
@@ -361,7 +364,7 @@ let capture_oneshot m =
       | None -> Values.err "capture at stack bottom with no link" []
     in
     m.stats.captures_oneshot <- m.stats.captures_oneshot + 1;
-    if !debug then dbg "cap1cc(empty) -> r%d\n" (id_of m k);
+    if m.cfg.debug then dbg "cap1cc(empty) -> r%d\n" (id_of m k);
     k
   end
   else begin
@@ -410,7 +413,7 @@ let capture_oneshot m =
           fresh_record seg ~base:0 ~size:(Array.length seg) ~link:(Some k);
         m.fp <- 0;
         seg.(0) <- Underflow_mark;
-        if !debug then dbg "cap1cc -> r%d (seg=%d base=%d cur=%d)\n" (id_of m k) (Array.length k.seg) k.base k.current;
+        if m.cfg.debug then dbg "cap1cc -> r%d (seg=%d base=%d cur=%d)\n" (id_of m k) (Array.length k.seg) k.base k.current;
         k
   end
 
@@ -570,7 +573,7 @@ let reinstate_oneshot m k =
   r
 
 let reinstate ?(unseal = true) m k =
-  if !debug then
+  if m.cfg.debug then
     dbg "reinstate r%d (size=%d current=%d shot=%b multi=%b)\n" (id_of m k)
       k.size k.current (is_shot k) (is_multi k);
   if is_shot k then raise Shot_continuation

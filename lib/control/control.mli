@@ -49,6 +49,10 @@ type config = {
   cache_max : int;  (** max segments retained in the cache *)
   promotion : promotion_strategy;
   capture : capture_strategy;
+  debug : bool;
+      (** trace captures/reinstatements to stderr.  Per-machine — the
+          [CONTROL_DEBUG] environment variable only seeds
+          {!default_config}. *)
 }
 
 val default_config : config
@@ -77,16 +81,12 @@ type t = {
   mutable dbg_rid : int;
   mutable dbg_ids : (Rt.stack_record * int) list;
       (** per-machine debug identity table; populated only under
-          {!debug} *)
+          [cfg.debug] *)
 }
-
-val debug : bool ref
-(** Trace toggle, initialised from [CONTROL_DEBUG].  When off, the debug
-    identity table is never touched. *)
 
 val id_of : t -> Rt.stack_record -> int
 (** Stable per-machine identity of a record for trace output; [0] when
-    {!debug} is off.  The table lives in the machine, so records traced
+    [cfg.debug] is off.  The table lives in the machine, so records traced
     by one machine are never pinned by another machine's lifetime. *)
 
 val create : ?stats:Stats.t -> config -> t

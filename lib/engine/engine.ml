@@ -1,0 +1,200 @@
+open Rt
+
+(* The execution engine shared by the stack VM ({!Vm}) and the heap VM
+   ({!Heapvm}).  Everything a bytecode interpreter needs that does not
+   depend on the control representation lives here:
+
+   - the machine record ['p vm], polymorphic in the frame-policy state
+     ['p] (the segmented-stack machine {!Control.t}, or the heap VM's
+     current-frame cell);
+   - machine construction ({!create}): primitive installation, the
+     per-machine timer accessors, the pure-prim scratch buffers;
+   - the small helpers of the dispatch loop (argument collection,
+     argument blits, multiple-values construction);
+   - the winder-chain planner {!wind_plan}, the one chain-walk both
+     trampolines (and the oracle's CPS mirror) execute.
+
+   The dispatch loop itself lives in [engine_core.ml] — a template
+   concatenated by a dune rule under [module Policy = ...] into each
+   backend library, so every instruction handler is written once but
+   compiled per policy with the policy's operations statically known
+   (include-style instantiation; a functor would put an indirection on
+   every hot-path policy call). *)
+
+type 'p vm = {
+  globals : Globals.t;
+  menv : Macro.menv;
+  out : Buffer.t;
+  stats : Stats.t;
+  mutable acc : value;
+  mutable code : code;
+  mutable pc : int;
+  mutable nargs : int;
+  mutable timer : int;
+  mutable timer_handler : value;
+  mutable halted : bool;
+  mutable fuel : int; (* negative = unlimited *)
+  mutable winders : winder list;
+      (* native dynamic-wind chain, innermost first; shares structure
+         with the winder snapshots of captured continuations, so
+         rewind/unwind targets compare by physical equality *)
+  scratch : value array array;
+      (* scratch.(k), k <= max_scratch, is a reusable length-k argument
+         buffer for pure-primitive application: no per-call Array.init.
+         Safe because no pure primitive retains its argument array and
+         pure primitives never re-enter the VM. *)
+  pol : 'p; (* frame-policy state: the control representation *)
+}
+
+exception Vm_fuel_exhausted
+
+let max_scratch = 8
+
+let halt_code =
+  Bytecode.make_code ~name:"%halt" ~arity:(Exactly 0) ~frame_words:2 [| Halt |]
+
+let create ?stats pol =
+  let out = Buffer.create 256 in
+  let globals = Globals.create () in
+  Prims.install ~out globals;
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let vm =
+    {
+      globals;
+      menv = Macro.create_menv ();
+      out;
+      stats;
+      acc = Void;
+      code = halt_code;
+      pc = 0;
+      nargs = 0;
+      timer = -1;
+      timer_handler = Void;
+      halted = false;
+      fuel = -1;
+      winders = [];
+      scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
+      pol;
+    }
+  in
+  (* The timer accessors are per-machine state with no control effect, so
+     rebind them as [Pure] primitives closing over this vm: pure prims
+     are applied in-line (no frame, no special dispatch) and are eligible
+     for primitive-call fusion.  The scheduler re-arms the timer once per
+     context switch, which made the generic special-call round trip
+     measurable hot-path overhead in experiment e2.  The [Special]
+     handlers remain as the fallback semantics of record. *)
+  let pure name parity fn =
+    Globals.define globals name (Prim { pname = name; parity; pfn = Pure fn })
+  in
+  pure "%set-timer!" (Exactly 2) (fun args ->
+      let ticks = Prims.check_int "%set-timer!" args.(0) in
+      vm.timer_handler <- args.(1);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      Void);
+  pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
+  vm
+
+let stats vm = vm.stats
+let globals vm = vm.globals
+let output vm = Buffer.contents vm.out
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch-loop helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect [nargs] argument values starting at [slots.(base)] into a
+   reusable scratch buffer (falling back to a fresh array for rare
+   high-arity calls). *)
+let prim_args vm slots base nargs =
+  if nargs <= max_scratch then begin
+    let args = vm.scratch.(nargs) in
+    for i = 0 to nargs - 1 do
+      Array.unsafe_set args i slots.(base + i)
+    done;
+    args
+  end
+  else Array.init nargs (fun i -> slots.(base + i))
+
+(* Move [n] argument slots within one slot array ([dst] strictly below
+   [src], so an ascending copy is safe).  Small counts dominate; avoid
+   the [caml_array_blit] call for them. *)
+let[@inline] blit_args slots src dst n =
+  if n = 1 then slots.(dst) <- slots.(src)
+  else if n = 2 then begin
+    slots.(dst) <- slots.(src);
+    slots.(dst + 1) <- slots.(src + 1)
+  end
+  else if n > 0 then Array.blit slots src slots dst n
+
+(* Build [slots.(base) :: ... :: slots.(base + i) :: acc] without an
+   intermediate array (multiple-values construction). *)
+let rec collect_list slots base i acc =
+  if i < 0 then acc
+  else collect_list slots base (i - 1) (slots.(base + i) :: acc)
+
+let empty_mvals = Mvals []
+
+(* ------------------------------------------------------------------ *)
+(* Error-handler injection                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Runtime errors unwind to Scheme when a handler is installed: the VM
+   pops the head of the %error-handlers list and calls it with the
+   message and irritants at the point of the error (handlers normally
+   escape through a continuation; if one returns, its value becomes the
+   value of the faulting operation). *)
+let pop_error_handler vm =
+  match Globals.lookup_opt vm.globals "%error-handlers" with
+  | Some (Pair p) ->
+      let h = p.car in
+      Globals.define vm.globals "%error-handlers" p.cdr;
+      Some h
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The winder-chain planner                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One step of the dynamic-wind trampoline, as pure chain arithmetic.
+   The chains share structure (the winder list is a stack), so the
+   common tail is found by physical equality after length alignment.
+   Ordering matches the prelude's [%do-winds] protocol exactly: an
+   unwind pops the machine chain *before* running the after thunk
+   (innermost first); a rewind runs the before thunk first and commits
+   the chain node only when it returns (outermost first) — [Rewind]
+   therefore carries the node to commit, not a chain to install now.
+   Both trampolines (stack wind frames, heap driver frames) and the
+   oracle's CPS [do_winds] consume this plan. *)
+type wind_step =
+  | Wind_done
+  | Unwind of winder * winder list (* run [w_after]; chain already popped *)
+  | Rewind of winder * winder list (* run [w_before]; commit node after *)
+
+let wind_plan cur target =
+  if cur == target then Wind_done
+  else begin
+    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+    let lc = List.length cur and lt = List.length target in
+    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
+    let base =
+      common
+        (if lc > lt then drop (lc - lt) cur else cur)
+        (if lt > lc then drop (lt - lc) target else target)
+    in
+    if cur != base then
+      match cur with
+      | w :: rest -> Unwind (w, rest)
+      | [] -> assert false
+    else
+      (* Rewind: the next extent to enter is the node of [target] whose
+         tail is the current chain. *)
+      let rec find l =
+        match l with
+        | w :: rest when rest == cur -> (w, l)
+        | _ :: rest -> find rest
+        | [] -> assert false
+      in
+      let w, node = find target in
+      Rewind (w, node)
+  end

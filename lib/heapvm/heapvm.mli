@@ -1,11 +1,14 @@
-(** The heap-model baseline VM (paper §5).
+(** The heap-model baseline VM (paper §5): the shared execution engine
+    ({!Engine}, instantiated as [Heap_core]) running over heap-allocated
+    linked frames as its frame policy ({!Heap_policy}).
 
-    Interprets the same bytecode as {!Vm}, but represents control as
-    heap-allocated linked frames in the style of Appel/MacQueen's SML/NJ:
-    every call allocates a frame; continuation capture is O(1) pointer
-    sharing; invocation is O(1) pointer swinging.  Frames reachable from a
-    multi-shot continuation are marked shared and copied on write, so
-    reinstatement is sound even though frames are mutable.
+    Interprets the same bytecode as {!Vm} — both are the one dispatch
+    loop of lib/engine/engine_core.ml — but represents control in the
+    style of Appel/MacQueen's SML/NJ: every call allocates a frame;
+    continuation capture is O(1) pointer sharing; invocation is O(1)
+    pointer swinging.  Frames reachable from a multi-shot continuation
+    are marked shared and copied on write, so reinstatement is sound
+    even though frames are mutable.
 
     One-shot semantics are kept in parity with the stack VM: a [%call/1cc]
     extent is consumed either by explicit invocation or by the normal
@@ -17,28 +20,17 @@
     this model pays that the segmented stack does not — and
     [Stats.cow_copies]. *)
 
-type t = {
-  globals : Globals.t;
-  menv : Macro.menv;
-  out : Buffer.t;
-  stats : Stats.t;
-  mutable acc : Rt.value;
-  mutable code : Rt.code;
-  mutable pc : int;
-  mutable nargs : int;
-  mutable frame : Rt.hframe;
-  mutable timer : int;
-  mutable timer_handler : Rt.value;
-  mutable halted : bool;
-  mutable winders : Rt.winder list;
-      (** native dynamic-wind chain, innermost extent first *)
-}
+type t = Heap_policy.state Engine.vm
 
 exception Vm_fuel_exhausted
 
 val create : ?stats:Stats.t -> unit -> t
+val stats : t -> Stats.t
+val globals : t -> Globals.t
 val run : ?fuel:int -> t -> Rt.code -> Rt.value
 val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
+
 val eval :
   ?fuel:int -> ?optimize:bool -> ?peephole:bool -> t -> string -> Rt.value
+
 val output : t -> string

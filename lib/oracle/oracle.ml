@@ -6,6 +6,7 @@ type t = {
   globals : Globals.t;
   menv : Macro.menv;
   out : Buffer.t;
+  stats : Stats.t;
   mutable fuel : int; (* negative = unlimited *)
   mutable oneshots : oneshot_state list; (* outstanding one-shot captures *)
   mutable winders : winder list; (* native dynamic-wind extents, innermost
@@ -19,7 +20,7 @@ let eval_top_fwd :
     (t -> Ast.top -> (value -> value) -> value) ref =
   ref (fun _ _ _ -> assert false)
 
-let create () =
+let create ?stats () =
   let out = Buffer.create 256 in
   let globals = Globals.create () in
   Prims.install ~out globals;
@@ -27,15 +28,23 @@ let create () =
     globals;
     menv = Macro.create_menv ();
     out;
+    stats = (match stats with Some s -> s | None -> Stats.create ());
     fuel = -1;
     oneshots = [];
     winders = [];
   }
 
 let globals t = t.globals
+let stats t = t.stats
 let output t = Buffer.contents t.out
 
+(* One interpreter step: the oracle's unit of work is an AST node or an
+   application, so [instrs] counts steps rather than bytecode
+   dispatches — comparable across runs of the oracle itself, not with
+   the VMs' instruction counts. *)
 let tick t =
+  let stats = t.stats in
+  if stats.Stats.enabled then stats.Stats.instrs <- stats.Stats.instrs + 1;
   if t.fuel >= 0 then begin
     if t.fuel = 0 then raise Fuel_exhausted;
     t.fuel <- t.fuel - 1
@@ -51,64 +60,49 @@ let one_value args =
 
 let rec apply t f (args : value array) (k : value -> value) : value =
   tick t;
+  let stats = t.stats in
   match f with
-  | Ofun o -> o.ofn args k
+  | Ofun o ->
+      if stats.Stats.enabled then stats.Stats.calls <- stats.Stats.calls + 1;
+      o.ofn args k
   | Prim { pfn = Pure fn; parity; pname } ->
       if not (Bytecode.arity_matches parity (Array.length args)) then
         Values.err (pname ^ ": wrong number of arguments") [];
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
       k (fn args)
   | Prim { pfn = Special sp; parity; pname } ->
       if not (Bytecode.arity_matches parity (Array.length args)) then
         Values.err (pname ^ ": wrong number of arguments") [];
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
       special t sp args k
   | v -> Values.err "application of non-procedure" [ v ]
 
 (* Run the afters/befores needed to move the machine's winder chain from
-   its current state to [target], then continue with [fin].  The chains
-   share structure (the winder list is a stack), so the common tail is
-   found by physical equality after length alignment — the oracle-level
-   mirror of the prelude's [%common-tail]/[%do-winds] protocol.  Ordering
-   matches the Scheme code exactly: unwind pops the chain *before* running
-   the after (innermost first); rewind runs the before *before* committing
-   the chain (outermost first). *)
+   its current state to [target], then continue with [fin].  The chain
+   arithmetic is {!Engine.wind_plan}'s — the same planner the two VM
+   trampolines drive — replayed here over CPS recursion.  Ordering
+   matches the Scheme protocol exactly: unwind pops the chain *before*
+   running the after (innermost first); rewind runs the before *before*
+   committing the chain node (outermost first). *)
 and do_winds t target fin =
-  let cur = t.winders in
-  if cur == target then fin ()
-  else begin
-    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
-    let lc = List.length cur and lt = List.length target in
-    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
-    let base =
-      common
-        (if lc > lt then drop (lc - lt) cur else cur)
-        (if lt > lc then drop (lt - lc) target else target)
-    in
-    if cur != base then
-      match cur with
-      | w :: rest ->
-          t.winders <- rest;
-          apply t w.w_after [||] (fun _ -> do_winds t target fin)
-      | [] -> assert false
-    else
-      (* Rewind: run the before of the outermost not-yet-entered extent —
-         the node of [target] whose tail is the current chain. *)
-      let rec find l =
-        match l with
-        | w :: rest when rest == cur -> (w, l)
-        | _ :: rest -> find rest
-        | [] -> assert false
-      in
-      let w, node = find target in
+  match Engine.wind_plan t.winders target with
+  | Engine.Wind_done -> fin ()
+  | Engine.Unwind (w, rest) ->
+      t.winders <- rest;
+      apply t w.w_after [||] (fun _ -> do_winds t target fin)
+  | Engine.Rewind (w, node) ->
       apply t w.w_before [||] (fun _ ->
           t.winders <- node;
           do_winds t target fin)
-  end
 
 and special t sp args k =
   match sp with
   | Sp_callcc ->
       (* Over-approximate promotion: see interface comment. *)
       List.iter (fun o -> o.promoted := true) t.oneshots;
+      t.stats.Stats.captures_multi <- t.stats.Stats.captures_multi + 1;
       let saved = t.winders in
       let kv =
         Ofun
@@ -123,6 +117,7 @@ and special t sp args k =
   | Sp_call1cc ->
       let st = { shot = ref false; promoted = ref false } in
       t.oneshots <- st :: t.oneshots;
+      t.stats.Stats.captures_oneshot <- t.stats.Stats.captures_oneshot + 1;
       let consume () =
         if not !(st.promoted) then begin
           if !(st.shot) then raise Shot_continuation;
@@ -181,7 +176,15 @@ and special t sp args k =
         | top :: rest -> !eval_top_fwd t top (fun v -> go v rest)
       in
       go Void tops
-  | Sp_stats -> k (Int 0)
+  | Sp_stats -> (
+      let name =
+        match args.(0) with
+        | Sym s -> s
+        | v -> Values.type_error "%stat" "symbol" v
+      in
+      match Stats.get t.stats name with
+      | n -> k (Int n)
+      | exception Not_found -> Values.err ("%stat: unknown counter " ^ name) [])
 
 let rec eval_exp t (env : env) (e : Ast.t) (k : value -> value) : value =
   tick t;

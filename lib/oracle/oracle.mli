@@ -10,15 +10,21 @@
     just those in the captured chain (OCaml closures cannot be walked).
     This over-approximation never changes the value of a program that runs
     without a shot-continuation error on the stack VM, which is the
-    property differential tests check.  [%set-timer!] is a no-op and
-    [%stat] returns 0. *)
+    property differential tests check.  [%set-timer!] is a no-op.
+
+    The oracle keeps a live {!Stats.t}: [instrs] counts interpreter steps
+    (AST nodes and applications — not comparable with the VMs' bytecode
+    dispatch counts), [calls]/[prim_calls] count applications, and the
+    capture counters mirror the VMs'; [%stat] reads them like the other
+    backends. *)
 
 type t
 
 exception Fuel_exhausted
 
-val create : unit -> t
+val create : ?stats:Stats.t -> unit -> t
 val globals : t -> Globals.t
+val stats : t -> Stats.t
 
 val eval : ?fuel:int -> t -> string -> Rt.value
 (** Run a program; the last form's value.  [fuel] bounds interpreter steps.

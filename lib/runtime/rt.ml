@@ -256,21 +256,39 @@ exception Scheme_error of string * value list
 exception Shot_continuation
 (* Raised when a one-shot continuation is invoked a second time. *)
 
+(* The symbol table is the one deliberately process-global structure in
+   the runtime: [eq?] on symbols is physical equality, so every machine
+   must intern through the same table.  Sessions may run on different
+   domains (Scheme.Pool), so the table and the gensym counter are
+   mutex-guarded; the lock is uncontended and symbols are interned at
+   compile time, never on the execution hot path. *)
+let sym_lock = Mutex.create ()
 let sym_table : (string, string) Hashtbl.t = Hashtbl.create 512
 
 (* Intern symbol names so that [Sym] payloads of equal name are physically
    equal and [eq?] can use physical comparison. *)
 let intern name =
-  match Hashtbl.find_opt sym_table name with
-  | Some s -> s
-  | None ->
-      Hashtbl.add sym_table name name;
-      name
+  Mutex.lock sym_lock;
+  let s =
+    match Hashtbl.find_opt sym_table name with
+    | Some s -> s
+    | None ->
+        Hashtbl.add sym_table name name;
+        name
+  in
+  Mutex.unlock sym_lock;
+  s
 
 let sym name = Sym (intern name)
 
 let gensym_counter = ref 0
 
 let gensym prefix =
-  incr gensym_counter;
-  sym (Printf.sprintf "%s%%%d" prefix !gensym_counter)
+  let n =
+    Mutex.lock sym_lock;
+    incr gensym_counter;
+    let n = !gensym_counter in
+    Mutex.unlock sym_lock;
+    n
+  in
+  sym (Printf.sprintf "%s%%%d" prefix n)

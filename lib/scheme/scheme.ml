@@ -32,7 +32,7 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     match backend with
     | Stack config -> M_stack (Vm.create ~config ~stats ())
     | Heap -> M_heap (Heapvm.create ~stats ())
-    | Oracle -> M_oracle (Oracle.create ())
+    | Oracle -> M_oracle (Oracle.create ~stats ())
   in
   let t = { which = backend; machine; stats; optimize; peephole } in
   if prelude then
@@ -65,10 +65,54 @@ let output t =
 let stats t = t.stats
 
 let control t =
-  match t.machine with M_stack vm -> Some vm.Vm.m | _ -> None
+  match t.machine with M_stack vm -> Some (Vm.control vm) | _ -> None
 
 let globals t =
   match t.machine with
-  | M_stack vm -> vm.Vm.globals
-  | M_heap vm -> vm.Heapvm.globals
+  | M_stack vm -> Vm.globals vm
+  | M_heap vm -> Heapvm.globals vm
   | M_oracle o -> Oracle.globals o
+
+(* ------------------------------------------------------------------ *)
+(* Session pools                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type shard = {
+    shard : int;
+    value : Rt.value;
+    output : string;
+    stats : Stats.t;
+  }
+
+  (* One shard = one fully independent session: its own Stats.t, global
+     table, macro environment, output buffer and (for the stack backend)
+     segmented-stack machine with its own segment cache.  Nothing is
+     shared between shards except the interned symbol table, which
+     {!Rt.intern} guards with a mutex — that independence is what makes
+     the domain spawn below safe, and what the engine test-suite's
+     interleaving tests pin down.  Counters are reset after the
+     prelude/corpus load so each shard reports the measured program
+     alone, making per-shard counters comparable with a single
+     sequential session running the same source. *)
+  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole i src =
+    let stats = Stats.create () in
+    let t = create ~backend ~stats ~optimize ~peephole () in
+    if corpus then load_corpus t;
+    Stats.reset stats;
+    let value = eval ?fuel t src in
+    { shard = i; value; output = output t; stats }
+
+  let run ?(backend = Stack Control.default_config) ?fuel ?(corpus = false)
+      ?(optimize = false) ?(peephole = true) ?domains ~jobs src =
+    let jobs = max 1 jobs in
+    let parallel = match domains with Some b -> b | None -> jobs > 1 in
+    let go i = run_shard ~backend ~fuel ~corpus ~optimize ~peephole i src in
+    let idx = List.init jobs Fun.id in
+    if parallel then
+      (* Spawn all shards, then join in order: aggregate throughput
+         scales with the machine's cores while the result list stays
+         deterministic. *)
+      List.map Domain.join (List.map (fun i -> Domain.spawn (fun () -> go i)) idx)
+    else List.map go idx
+end

@@ -41,10 +41,40 @@ val output : t -> string
 (** Accumulated [display]/[write] output. *)
 
 val stats : t -> Stats.t
-(** Live counters of the underlying machine (all-zero for the oracle
-    unless one was passed at creation). *)
+(** Live counters of the underlying machine.  Every backend — including
+    the oracle — shares this object with its machine, so reading it here
+    and reading it through the machine give the same counters.  Note the
+    footgun avoided: a {!Stats.t} passed to {!create} is adopted, not
+    copied, so passing one object to two sessions makes their counters
+    indistinguishable — give each session its own (as {!Pool} does). *)
 
 val globals : t -> Globals.t
 
 val control : t -> Control.t option
 (** The segmented-stack machine underneath, when the backend is [Stack]. *)
+
+(** Run [N] fully independent sessions over the same program, optionally
+    one per OCaml domain.  Shards share no mutable state (each has its
+    own machine, stats, globals, macros and output; the interned symbol
+    table is the one deliberate process-global, mutex-guarded in
+    {!Rt}), so per-shard results and counters are deterministic and
+    identical to a single sequential session running the same source —
+    the property benchmark e6.parallel and the CI smoke test assert. *)
+module Pool : sig
+  type shard = {
+    shard : int;  (** shard index, [0 .. jobs-1] *)
+    value : Rt.value;  (** the program's value on this shard *)
+    output : string;  (** its [display]/[write] output *)
+    stats : Stats.t;  (** its counters, reset after prelude/corpus load *)
+  }
+
+  val run :
+    ?backend:backend -> ?fuel:int -> ?corpus:bool -> ?optimize:bool ->
+    ?peephole:bool -> ?domains:bool -> jobs:int -> string -> shard list
+  (** Evaluate [src] on [jobs] fresh sessions and return the shards in
+      index order.  [domains] forces the execution mode: [true] spawns
+      one domain per shard, [false] runs them sequentially on the
+      calling domain; the default parallelizes iff [jobs > 1].
+      [corpus] preloads the benchmark definitions on each shard before
+      the counters are reset. *)
+end

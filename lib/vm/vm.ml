@@ -1,1046 +1,17 @@
-open Rt
+(* The stack VM is the engine instantiated at the segmented-stack frame
+   policy: [Vm_policy] supplies the control representation, [Vm_core] is
+   the shared dispatch loop of lib/engine/engine_core.ml compiled against
+   it (see the codegen rule in ./dune). *)
 
-type t = {
-  m : Control.t;
-  globals : Globals.t;
-  menv : Macro.menv;
-  out : Buffer.t;
-  mutable acc : value;
-  mutable code : code;
-  mutable pc : int;
-  mutable nargs : int;
-  mutable timer : int;
-  mutable timer_handler : value;
-  mutable halted : bool;
-  mutable fuel : int;
-  mutable winders : winder list;
-      (* native dynamic-wind chain, innermost first; shares structure
-         with the [k_winders] snapshots of captured continuations, so
-         rewind/unwind targets compare by physical equality *)
-  scratch : value array array;
-      (* scratch.(k), k <= max_scratch, is a reusable length-k argument
-         buffer for pure-primitive application: no per-call Array.init.
-         Safe because no pure primitive retains its argument array and
-         pure primitives never re-enter the VM. *)
-}
+type t = Vm_policy.t
 
-exception Vm_fuel_exhausted
+exception Vm_fuel_exhausted = Engine.Vm_fuel_exhausted
 
-let max_scratch = 8
-
-let halt_code =
-  Bytecode.make_code ~name:"%halt" ~arity:(Exactly 0) ~frame_words:2 [| Halt |]
-
-let create ?(config = Control.default_config) ?stats () =
-  let out = Buffer.create 256 in
-  let globals = Globals.create () in
-  Prims.install ~out globals;
-  let vm =
-    {
-      m = Control.create ?stats config;
-      globals;
-      menv = Macro.create_menv ();
-      out;
-      acc = Void;
-      code = halt_code;
-      pc = 0;
-      nargs = 0;
-      timer = -1;
-      timer_handler = Void;
-      halted = false;
-      fuel = -1;
-      winders = [];
-      scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
-    }
-  in
-  (* The timer accessors are per-machine state with no control effect, so
-     rebind them as [Pure] primitives closing over this vm: pure prims
-     are applied in-line (no frame, no special dispatch) and are eligible
-     for primitive-call fusion.  The scheduler re-arms the timer once per
-     context switch, which made the generic special-call round trip
-     measurable hot-path overhead in experiment e2.  The [Special]
-     handlers remain as the fallback semantics of record. *)
-  let pure name parity fn =
-    Globals.define globals name (Prim { pname = name; parity; pfn = Pure fn })
-  in
-  pure "%set-timer!" (Exactly 2) (fun args ->
-      let ticks = Prims.check_int "%set-timer!" args.(0) in
-      vm.timer_handler <- args.(1);
-      vm.timer <- (if ticks <= 0 then -1 else ticks);
-      Void);
-  pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
-  vm
-
-let stats vm = vm.m.Control.stats
-let output vm = Buffer.contents vm.out
-
-(* ------------------------------------------------------------------ *)
-(* Returns and underflow                                               *)
-(* ------------------------------------------------------------------ *)
-
-(* A frame re-entered after a return or continuation invocation may sit
-   near the top of a smaller segment than the one its [Enter] validated:
-   re-establish the frame-extent guarantee before its code resumes. *)
-let ensure_resumed_frame_room vm =
-  let m = vm.m in
-  let fw = vm.code.frame_words in
-  if not (Control.room m fw) then
-    Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:fw
-
-let do_return vm =
-  let m = vm.m in
-  match m.Control.sr.seg.(m.Control.fp) with
-  | Retaddr r ->
-      m.Control.fp <- m.Control.fp - r.rdisp;
-      vm.code <- r.rcode;
-      vm.pc <- r.rpc;
-      ensure_resumed_frame_room vm
-  | Underflow_mark -> (
-      (* Paper Section 3.2: returning through the bottom frame of a
-         segment implicitly invokes the record linked below — consuming
-         it if it is one-shot. *)
-      match Control.underflow m with
-      | Some r ->
-          vm.code <- r.rcode;
-          vm.pc <- r.rpc;
-          ensure_resumed_frame_room vm
-      | None -> vm.halted <- true)
-  | v -> Values.err "vm: corrupt frame: bad return slot" [ v ]
-
-(* ------------------------------------------------------------------ *)
-(* Application                                                         *)
-(* ------------------------------------------------------------------ *)
-
-(* Collect [nargs] argument values starting at [seg.(base)] into a
-   reusable scratch buffer (falling back to a fresh array for rare
-   high-arity calls).  Every pure primitive either destructures or
-   copies its argument array, so reuse across calls is safe. *)
-let prim_args vm seg base nargs =
-  if nargs <= max_scratch then begin
-    let args = vm.scratch.(nargs) in
-    for i = 0 to nargs - 1 do
-      Array.unsafe_set args i seg.(base + i)
-    done;
-    args
-  end
-  else Array.init nargs (fun i -> seg.(base + i))
-
-(* Move [n] argument slots within one segment ([dst] strictly below
-   [src], so an ascending copy is safe).  Small counts dominate; avoid
-   the [caml_array_blit] call for them. *)
-let[@inline] blit_args seg src dst n =
-  if n = 1 then seg.(dst) <- seg.(src)
-  else if n = 2 then begin
-    seg.(dst) <- seg.(src);
-    seg.(dst + 1) <- seg.(src + 1)
-  end
-  else if n > 0 then Array.blit seg src seg dst n
-
-(* Build [seg.(base) :: ... :: seg.(base + i) :: acc] without an
-   intermediate array (multiple-values construction). *)
-let rec collect_list seg base i acc =
-  if i < 0 then acc else collect_list seg base (i - 1) (seg.(base + i) :: acc)
-
-let empty_mvals = Mvals []
-
-(* Apply [f] whose frame starts at [nfp] (return slot already correct and
-   arguments at [nfp+2 ..]).  Used for both non-tail calls (fresh return
-   address) and tail calls (inherited return slot). *)
-let rec apply vm f nfp nargs =
-  let m = vm.m in
-  let stats = m.Control.stats in
-  match f with
-  | Closure c ->
-      m.Control.fp <- nfp;
-      vm.code <- c.code;
-      vm.pc <- 0;
-      vm.nargs <- nargs;
-      if stats.Stats.enabled then stats.Stats.calls <- stats.Stats.calls + 1
-  | Prim { pfn = Pure fn; parity; pname } ->
-      if not (Bytecode.arity_matches parity nargs) then
-        Values.err (pname ^ ": wrong number of arguments") [];
-      let seg = m.Control.sr.seg in
-      let args = prim_args vm seg (nfp + 2) nargs in
-      if stats.Stats.enabled then
-        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-      vm.acc <- fn args;
-      (* Frame pointer is untouched for pure primitives: if this was a
-         tail call ([nfp] = fp) the caller's Return follows; if it was a
-         non-tail call, execution simply continues in the caller. *)
-      if nfp = m.Control.fp then do_return vm
-  | Prim { pfn = Special sp; parity; pname } ->
-      if not (Bytecode.arity_matches parity nargs) then
-        Values.err (pname ^ ": wrong number of arguments") [];
-      m.Control.fp <- nfp;
-      if stats.Stats.enabled then
-        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-      special vm sp nargs
-  | Cont c -> invoke_continuation vm c nfp nargs
-  | v -> Values.err "application of non-procedure" [ v ]
-
-and invoke_continuation vm c nfp nargs =
-  let m = vm.m in
-  let seg = m.Control.sr.seg in
-  let v =
-    if nargs = 1 then seg.(nfp + 2)
-    else if nargs = 0 then empty_mvals
-    else if nargs = 2 then Mvals [ seg.(nfp + 2); seg.(nfp + 3) ]
-    else Mvals (collect_list seg (nfp + 2) (nargs - 1) [])
-  in
-  (* Fast path: the machine already sits at the continuation's winder
-     chain (physical equality) — reinstate directly.  Under the
-     [--scheme-winders] prelude both chains stay [[]], so this is
-     exactly the historical behavior. *)
-  if c.k_winders == vm.winders then reinstate_cont vm c v
-  else start_wind vm c v
-
-and reinstate_cont vm c v =
-  let m = vm.m in
-  let r = Control.reinstate m c.sr in
-  vm.code <- r.rcode;
-  vm.pc <- r.rpc;
-  ensure_resumed_frame_room vm;
-  vm.acc <- v
-
-(* The winder chains differ: push a wind-trampoline frame above the
-   current frame and step it.  The frame records the continuation, its
-   payload, the target chain and a pending-commit slot (see the layout
-   comment in [Prims]); every guard thunk returns through [wind_ret],
-   whose single instruction tail-calls back into [Sp_wind].  Capturing
-   inside a guard therefore snapshots ordinary frames and the protocol
-   survives re-entry. *)
-and start_wind vm c v =
-  let m = vm.m in
-  let fw = vm.code.frame_words in
-  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 12);
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  let dfp = fp + fw in
-  seg.(dfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
-  seg.(dfp + 1) <- Prim Prims.wind_prim;
-  seg.(dfp + 2) <- Cont c;
-  seg.(dfp + 3) <- v;
-  seg.(dfp + 4) <- WindersV c.k_winders;
-  seg.(dfp + 5) <- Bool false;
-  m.Control.fp <- dfp;
-  wind_step vm
-
-(* One trampoline step.  fp is at a wind frame; room for the guard call
-   area (fp+6, fp+7) is guaranteed by [start_wind]'s [ensure_room] on
-   entry and by [wind_resume_code.frame_words] on every re-entry.
-   Ordering matches the prelude's [%do-winds] exactly: an unwind pops
-   the machine chain *before* running the after thunk (innermost
-   first); a rewind runs the before thunk first and commits the chain
-   only when it returns (outermost first), via the pending slot. *)
-and wind_step vm =
-  let m = vm.m in
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  (match seg.(fp + 5) with
-  | WindersV w ->
-      (* A before thunk just returned: commit its extent. *)
-      vm.winders <- w;
-      seg.(fp + 5) <- Bool false
-  | _ -> ());
-  let target =
-    match seg.(fp + 4) with
-    | WindersV w -> w
-    | v -> Values.err "vm: corrupt wind frame" [ v ]
-  in
-  let cur = vm.winders in
-  if cur == target then
-    (* Done: reinstate.  A shot one-shot record raises here, after the
-       winds have run — the same point the Scheme wrapper checks. *)
-    match seg.(fp + 2) with
-    | Cont c -> reinstate_cont vm c seg.(fp + 3)
-    | v -> Values.err "vm: corrupt wind frame" [ v ]
-  else begin
-    (* The chains share structure: align lengths, then walk both to the
-       physically common tail. *)
-    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
-    let lc = List.length cur and lt = List.length target in
-    let rec common a b = if a == b then a else common (List.tl a) (List.tl b) in
-    let base =
-      common
-        (if lc > lt then drop (lc - lt) cur else cur)
-        (if lt > lc then drop (lt - lc) target else target)
-    in
-    let thunk =
-      if cur != base then
-        match cur with
-        | w :: rest ->
-            vm.winders <- rest;
-            w.w_after
-        | [] -> assert false
-      else begin
-        (* Rewind: the next extent to enter is the node of [target]
-           whose tail is the current chain. *)
-        let rec find l =
-          match l with
-          | w :: rest when rest == cur -> (w, l)
-          | _ :: rest -> find rest
-          | [] -> assert false
-        in
-        let w, node = find target in
-        seg.(fp + 5) <- WindersV node;
-        w.w_before
-      end
-    in
-    seg.(fp + 6) <- Prims.wind_ret;
-    seg.(fp + 7) <- thunk;
-    (* Preset the resumption point for frame-less (pure) guards, as in
-       the [Sp_dynamic_wind] arms. *)
-    vm.code <- Prims.wind_resume_code;
-    vm.pc <- 0;
-    apply vm thunk (fp + 6) 0
-  end
-
-(* Specials execute with fp at their own frame: [ret][prim][args...]. *)
-and special vm sp nargs =
-  let m = vm.m in
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  match sp with
-  | Sp_callcc ->
-      let p = Prims.check_procedure "%call/cc" seg.(fp + 2) in
-      let sr = Control.capture_multi m in
-      let k = Cont { sr; one_shot = false; k_winders = vm.winders } in
-      tail_apply_2 vm p k
-  | Sp_call1cc ->
-      let p = Prims.check_procedure "%call/1cc" seg.(fp + 2) in
-      let sr = Control.capture_oneshot m in
-      let one_shot = not (Control.is_multi sr) in
-      let k = Cont { sr; one_shot; k_winders = vm.winders } in
-      tail_apply_2 vm p k
-  | Sp_apply ->
-      let f = Prims.check_procedure "apply" seg.(fp + 2) in
-      let fixed = nargs - 2 in
-      let lst = seg.(fp + 2 + nargs - 1) in
-      (* Spread the last-argument list in place: count it (validating
-         properness), make room while keeping the whole current frame
-         live, shift the fixed args down one slot, then walk the list a
-         second time writing elements directly into the frame.  No
-         intermediate arrays or list copies. *)
-      let rec spread_len v n =
-        match v with
-        | Nil -> n
-        | Pair p -> spread_len p.cdr (n + 1)
-        | _ -> Values.err "apply: expected a proper list" [ lst ]
-      in
-      let rest = spread_len lst 0 in
-      let n = fixed + rest in
-      Control.ensure_room m ~live_top:(fp + 2 + nargs) ~need:(n + 8);
-      let fp = m.Control.fp in
-      let seg = m.Control.sr.seg in
-      seg.(fp + 1) <- f;
-      for i = 0 to fixed - 1 do
-        seg.(fp + 2 + i) <- seg.(fp + 3 + i)
-      done;
-      let rec spread_fill v i =
-        match v with
-        | Pair p ->
-            seg.(i) <- p.car;
-            spread_fill p.cdr (i + 1)
-        | _ -> ()
-      in
-      spread_fill lst (fp + 2 + fixed);
-      apply vm f fp n
-  | Sp_values ->
-      (if nargs = 1 then vm.acc <- seg.(fp + 2)
-       else if nargs = 0 then vm.acc <- empty_mvals
-       else if nargs = 2 then vm.acc <- Mvals [ seg.(fp + 2); seg.(fp + 3) ]
-       else vm.acc <- Mvals (collect_list seg (fp + 2) (nargs - 1) []));
-      do_return vm
-  | Sp_set_timer ->
-      let ticks = Prims.check_int "%set-timer!" seg.(fp + 2) in
-      vm.timer_handler <- seg.(fp + 3);
-      vm.timer <- (if ticks <= 0 then -1 else ticks);
-      vm.acc <- Void;
-      do_return vm
-  | Sp_get_timer ->
-      vm.acc <- Int (max vm.timer 0);
-      do_return vm
-  | Sp_stats ->
-      let name =
-        match seg.(fp + 2) with
-        | Sym s -> s
-        | v -> Values.type_error "%stat" "symbol" v
-      in
-      (vm.acc <-
-         (match Stats.get m.Control.stats name with
-         | n -> Int n
-         | exception Not_found ->
-             Values.err ("%stat: unknown counter " ^ name) []));
-      do_return vm
-  | Sp_backtrace ->
-      vm.acc <-
-        Values.list_to_value
-          (List.map (fun n -> sym n) (Control.backtrace m));
-      do_return vm
-  | Sp_eval ->
-      let datum = seg.(fp + 2) in
-      let code = Compiler.compile_eval ~menv:vm.menv vm.globals datum in
-      let clos = Closure { code; frees = [||] } in
-      seg.(fp + 1) <- clos;
-      apply vm clos fp 0
-  | Sp_dynamic_wind when nargs = 3 ->
-      (* Entry: extend the frame in place with state/saved slots
-         ([ret][prim][before][thunk][after][state][saved]) and call the
-         before thunk through [dw_ret_before].  Resumptions re-enter
-         this special via [Prims.dw_resume_code] with nargs = 5. *)
-      Control.ensure_room m ~live_top:(fp + 5) ~need:12;
-      let fp = m.Control.fp in
-      let seg = m.Control.sr.seg in
-      seg.(fp + 5) <- Int 0;
-      seg.(fp + 6) <- Void;
-      let before = seg.(fp + 2) in
-      seg.(fp + 7) <- Prims.dw_ret_before;
-      seg.(fp + 8) <- before;
-      (* Preset the resumption point: a pure-primitive guard pushes no
-         frame and falls through to [relaunch], which must land exactly
-         where a normal return through the ret slot would. *)
-      vm.code <- Prims.dw_resume_code;
-      vm.pc <- 0;
-      apply vm before (fp + 7) 0
-  | Sp_dynamic_wind -> (
-      if nargs <> 5 then
-        Values.err "%dynamic-wind: expected 3 arguments" [];
-      match seg.(fp + 5) with
-      | Int 1 ->
-          (* before returned: enter the extent, run the thunk *)
-          vm.winders <-
-            { w_before = seg.(fp + 2); w_after = seg.(fp + 4) } :: vm.winders;
-          let thunk = seg.(fp + 3) in
-          seg.(fp + 7) <- Prims.dw_ret_thunk;
-          seg.(fp + 8) <- thunk;
-          vm.code <- Prims.dw_resume_code;
-          vm.pc <- 2;
-          apply vm thunk (fp + 7) 0
-      | Int 2 ->
-          (* thunk returned (value stashed at fp+6): leave the extent
-             *before* running the after thunk, as the prelude does *)
-          (match vm.winders with
-          | _ :: rest -> vm.winders <- rest
-          | [] -> ());
-          let after = seg.(fp + 4) in
-          seg.(fp + 7) <- Prims.dw_ret_after;
-          seg.(fp + 8) <- after;
-          vm.code <- Prims.dw_resume_code;
-          vm.pc <- 5;
-          apply vm after (fp + 7) 0
-      | Int 3 ->
-          vm.acc <- seg.(fp + 6);
-          do_return vm
-      | v -> Values.err "vm: corrupt %dynamic-wind frame" [ v ])
-  | Sp_wind -> wind_step vm
-
-(* Tail-call [p] with the single argument [k] from the current frame
-   (used by the capture operations after sealing). *)
-and tail_apply_2 vm p k =
-  let m = vm.m in
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  seg.(fp + 1) <- p;
-  seg.(fp + 2) <- k;
-  apply vm p fp 1
-
-(* ------------------------------------------------------------------ *)
-(* Procedure entry: arity, overflow, rest collection, timer            *)
-(* ------------------------------------------------------------------ *)
-
-let fire_timer vm =
-  let m = vm.m in
-  let code = vm.code in
-  let fw = code.frame_words in
-  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 4);
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  let handler = vm.timer_handler in
-  (* The fire always happens at procedure entry, so the resumption point
-     (pc, displacement) is a constant of [code]: intern the return
-     address on the code object instead of allocating one per
-     preemption.  The guard keeps this sound should a future caller fire
-     from elsewhere. *)
-  let ra =
-    match code.timer_ret with
-    | Retaddr r as ra when r.rpc = vm.pc && r.rdisp = fw -> ra
-    | _ ->
-        let ra = Retaddr { rcode = code; rpc = vm.pc; rdisp = fw } in
-        code.timer_ret <- ra;
-        ra
-  in
-  seg.(fp + fw) <- ra;
-  seg.(fp + fw + 1) <- handler;
-  apply vm handler (fp + fw) 0
-
-let enter vm =
-  let m = vm.m in
-  let c = vm.code in
-  let n = vm.nargs in
-  (match c.arity with
-  | Exactly k ->
-      if n <> k then
-        Values.err
-          (Printf.sprintf "%s: expected %d arguments, got %d" c.cname k n)
-          []
-  | At_least k ->
-      if n < k then
-        Values.err
-          (Printf.sprintf "%s: expected at least %d arguments, got %d" c.cname
-             k n)
-          []);
-  Control.ensure_room m ~live_top:(m.Control.fp + 2 + n) ~need:c.frame_words;
-  (match c.arity with
-  | At_least k ->
-      let fp = m.Control.fp in
-      let seg = m.Control.sr.seg in
-      let rest = ref Nil in
-      for i = n - 1 downto k do
-        rest := Values.cons seg.(fp + 2 + i) !rest
-      done;
-      seg.(fp + 2 + k) <- !rest
-  | Exactly _ -> ());
-  if vm.timer > 0 then begin
-    vm.timer <- vm.timer - 1;
-    if vm.timer = 0 then begin
-      vm.timer <- -1;
-      fire_timer vm
-    end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Inline-cache deoptimization                                         *)
-(* ------------------------------------------------------------------ *)
-
-(* The inline-cache guard failed: the global a fused site was compiled
-   against has been assigned ([set!] of [+] and the like).  Reconstruct
-   the generic call the peephole replaced and take the slow path with
-   whatever value the cell holds now. *)
-let prim_deopt_call vm site =
-  let m = vm.m in
-  let stats = m.Control.stats in
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  let nfp = fp + site.ps_disp in
-  seg.(nfp + 1) <- g.gval;
-  seg.(nfp) <- site.ps_ret;
-  if stats.Stats.enabled then begin
-    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
-    stats.Stats.frames <- stats.Stats.frames + 1
-  end;
-  apply vm g.gval nfp site.ps_nargs
-
-let prim_deopt_tail_call vm site =
-  let m = vm.m in
-  let stats = m.Control.stats in
-  if stats.Stats.enabled then
-    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  let f = g.gval in
-  seg.(fp + 1) <- f;
-  blit_args seg (fp + site.ps_disp + 2) (fp + 2) site.ps_nargs;
-  apply vm f fp site.ps_nargs
-
-(* ------------------------------------------------------------------ *)
-(* Error-handler injection                                             *)
-(* ------------------------------------------------------------------ *)
-
-(* Runtime errors unwind to Scheme when a handler is installed: the VM
-   pops the head of the %error-handlers list and calls it with the
-   message and irritants at the point of the error (handlers normally
-   escape through a continuation; if one returns, its value becomes the
-   value of the faulting operation). *)
-let pop_error_handler vm =
-  match Globals.lookup_opt vm.globals "%error-handlers" with
-  | Some (Pair p) ->
-      let h = p.car in
-      Globals.define vm.globals "%error-handlers" p.cdr;
-      Some h
-  | _ -> None
-
-let inject_error_handler vm handler msg irritants =
-  let m = vm.m in
-  let fw = vm.code.frame_words in
-  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 6);
-  let fp = m.Control.fp in
-  let seg = m.Control.sr.seg in
-  seg.(fp + fw) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
-  seg.(fp + fw + 1) <- handler;
-  seg.(fp + fw + 2) <- Str (Bytes.of_string msg);
-  seg.(fp + fw + 3) <- Values.list_to_value irritants;
-  apply vm handler (fp + fw) 2
-
-(* ------------------------------------------------------------------ *)
-(* The dispatch loop                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(* The loop executes one *landing* at a time: a run of instructions
-   between control transfers, all within one code object, one frame and
-   one stack segment.  For the duration of a landing the hot state lives
-   in parameters (so the native compiler keeps it in registers):
-
-     [instrs]  the current code object's instruction array
-     [seg]     the active segment array ([m.sr.seg]); a GC root, so the
-               runtime relocates it like any other local if a minor
-               collection moves the block
-     [fp]      cached copy of [m.Control.fp] (never written mid-landing)
-     [limit]   cached [Control.seg_limit m] for the Enter fast path
-     [acc]     the accumulator
-     [pc]      index of the instruction about to execute
-     [steps]   instructions executed in this landing but not yet added
-               to [stats.instrs] / subtracted from [vm.fuel]
-     [budget]  instructions this landing may still execute before the
-               fuel check must run ([max_int] when fuel is unlimited)
-
-   [sync] writes the batched state back ([vm.pc], [vm.acc], instruction
-   counter, fuel); it MUST run before any operation that can observe
-   [vm.pc] or raise — control transfers, primitive application (prims
-   raise Scheme_error), and every error branch.  After [sync] the [pc]
-   argument is the address *after* the current instruction, matching the
-   historical "pc already incremented" semantics that error-handler
-   injection and the deopt return addresses rely on.
-
-   Instruction fetch uses [Array.unsafe_get]: [Bytecode.make_code]
-   validates that code cannot fall off the end and that branch targets
-   are in range, and [relaunch] bounds-checks every landing's entry pc,
-   so [pc] is always in range here. *)
-
-let[@inline] sync vm steps pc acc =
-  vm.pc <- pc;
-  vm.acc <- acc;
-  let stats = vm.m.Control.stats in
-  if stats.Stats.enabled then
-    stats.Stats.instrs <- stats.Stats.instrs + steps;
-  if vm.fuel >= 0 then vm.fuel <- vm.fuel - steps
-
-let rec exec vm instrs seg fp limit budget acc steps pc =
-  if steps >= budget then begin
-    sync vm steps pc acc;
-    raise Vm_fuel_exhausted
-  end;
-  match Array.unsafe_get instrs pc with
-  | Const v -> exec vm instrs seg fp limit budget v (steps + 1) (pc + 1)
-  | Local_ref i ->
-      exec vm instrs seg fp limit budget seg.(fp + i) (steps + 1) (pc + 1)
-  | Local_set i ->
-      seg.(fp + i) <- acc;
-      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-  | Box_init i ->
-      seg.(fp + i) <- Box (ref seg.(fp + i));
-      let stats = vm.m.Control.stats in
-      if stats.Stats.enabled then
-        stats.Stats.boxes_made <- stats.Stats.boxes_made + 1;
-      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-  | Box_ref i -> (
-      match seg.(fp + i) with
-      | Box r -> exec vm instrs seg fp limit budget !r (steps + 1) (pc + 1)
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: box-ref of non-box" [ v ])
-  | Box_set i -> (
-      match seg.(fp + i) with
-      | Box r ->
-          r := acc;
-          exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: box-set of non-box" [ v ])
-  | Free_ref i -> (
-      match seg.(fp + 1) with
-      | Closure c ->
-          exec vm instrs seg fp limit budget c.frees.(i) (steps + 1) (pc + 1)
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: free-ref outside closure" [ v ])
-  | Free_box_ref i -> (
-      match seg.(fp + 1) with
-      | Closure c -> (
-          match c.frees.(i) with
-          | Box r -> exec vm instrs seg fp limit budget !r (steps + 1) (pc + 1)
-          | v ->
-              sync vm (steps + 1) (pc + 1) acc;
-              Values.err "vm: free-box-ref of non-box" [ v ])
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: free-box-ref outside closure" [ v ])
-  | Free_box_set i -> (
-      match seg.(fp + 1) with
-      | Closure c -> (
-          match c.frees.(i) with
-          | Box r ->
-              r := acc;
-              exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-          | v ->
-              sync vm (steps + 1) (pc + 1) acc;
-              Values.err "vm: free-box-set of non-box" [ v ])
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: free-box-set outside closure" [ v ])
-  | Global_ref g ->
-      if g.gdefined then
-        exec vm instrs seg fp limit budget g.gval (steps + 1) (pc + 1)
-      else begin
-        sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("unbound variable: " ^ g.gname) []
-      end
-  | Global_set g ->
-      if g.gdefined then begin
-        g.gval <- acc;
-        exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-      end
-      else begin
-        sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("set! of unbound variable: " ^ g.gname) []
-      end
-  | Global_define g ->
-      g.gval <- acc;
-      g.gdefined <- true;
-      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-  | Make_closure (code, caps) ->
-      let ncaps = Array.length caps in
-      let frees = if ncaps = 0 then [||] else Array.make ncaps Void in
-      for i = 0 to ncaps - 1 do
-        frees.(i) <-
-          (match Array.unsafe_get caps i with
-          | Cap_local j -> seg.(fp + j)
-          | Cap_free j -> (
-              match seg.(fp + 1) with
-              | Closure c -> c.frees.(j)
-              | v ->
-                  sync vm (steps + 1) (pc + 1) acc;
-                  Values.err "vm: capture outside closure" [ v ]))
-      done;
-      let stats = vm.m.Control.stats in
-      if stats.Stats.enabled then
-        stats.Stats.closures_made <- stats.Stats.closures_made + 1;
-      exec vm instrs seg fp limit budget
-        (Closure { code; frees })
-        (steps + 1) (pc + 1)
-  | Branch t -> exec vm instrs seg fp limit budget acc (steps + 1) t
-  | Branch_false t ->
-      exec vm instrs seg fp limit budget acc (steps + 1)
-        (match acc with Bool false -> t | _ -> pc + 1)
-  | Call site -> (
-      let nfp = fp + site.cs_disp in
-      match seg.(nfp + 1) with
-      | Closure c ->
-          (* Same-segment call: the callee's frame lives on the segment
-             we already hold, so transfer control without leaving the
-             loop.  The return address is the per-site constant interned
-             by [Bytecode.backpatch]: no allocation on the call path.
-             [vm.pc] stays stale here — every observation point (error
-             branches, slow-path transfers) syncs its own pc first. *)
-          seg.(nfp) <- site.cs_ret;
-          vm.code <- c.code;
-          vm.nargs <- site.cs_nargs;
-          vm.m.Control.fp <- nfp;
-          let stats = vm.m.Control.stats in
-          if stats.Stats.enabled then begin
-            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
-            stats.Stats.frames <- stats.Stats.frames + 1;
-            stats.Stats.calls <- stats.Stats.calls + 1
-          end;
-          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
-          exec vm c.code.instrs seg nfp limit (budget - (steps + 1)) acc 0 0
-      | Prim { pfn = Pure fn; parity; pname } ->
-          (* Pure primitives return straight to the fall-through pc: no
-             return address is written and fp never moves, so the call
-             stays inside the landing (with the batched counters flushed
-             first, because [fn] may raise). *)
-          sync vm (steps + 1) (pc + 1) acc;
-          if not (Bytecode.arity_matches parity site.cs_nargs) then
-            Values.err (pname ^ ": wrong number of arguments") [];
-          let stats = vm.m.Control.stats in
-          if stats.Stats.enabled then
-            stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          let v = fn (prim_args vm seg (nfp + 2) site.cs_nargs) in
-          exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
-      | f ->
-          seg.(nfp) <- site.cs_ret;
-          sync vm (steps + 1) (pc + 1) acc;
-          let stats = vm.m.Control.stats in
-          if stats.Stats.enabled then
-            stats.Stats.frames <- stats.Stats.frames + 1;
-          apply vm f nfp site.cs_nargs;
-          relaunch vm)
-  | Tail_call { disp; nargs } -> (
-      let src = fp + disp in
-      let f = seg.(src + 1) in
-      match f with
-      | Closure c ->
-          (* Same-segment tail call: frame is reused in place. *)
-          seg.(fp + 1) <- f;
-          blit_args seg (src + 2) (fp + 2) nargs;
-          vm.code <- c.code;
-          vm.nargs <- nargs;
-          let stats = vm.m.Control.stats in
-          if stats.Stats.enabled then begin
-            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
-            stats.Stats.calls <- stats.Stats.calls + 1
-          end;
-          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
-          exec vm c.code.instrs seg fp limit (budget - (steps + 1)) acc 0 0
-      | _ ->
-          seg.(fp + 1) <- f;
-          blit_args seg (src + 2) (fp + 2) nargs;
-          sync vm (steps + 1) (pc + 1) acc;
-          apply vm f fp nargs;
-          relaunch vm)
-  | Return -> (
-      match seg.(fp) with
-      | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
-          (* Same-segment return with the caller's frame extent already
-             covered: skip the write-back/reload round trip.  The room
-             test is exactly [ensure_resumed_frame_room]'s. *)
-          let nfp = fp - r.rdisp in
-          vm.code <- r.rcode;
-          vm.m.Control.fp <- nfp;
-          let stats = vm.m.Control.stats in
-          if stats.Stats.enabled then
-            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
-          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
-          exec vm r.rcode.instrs seg nfp limit (budget - (steps + 1)) acc 0
-            r.rpc
-      | _ ->
-          sync vm (steps + 1) (pc + 1) acc;
-          do_return vm;
-          relaunch vm)
-  | Enter -> (
-      let c = vm.code in
-      match c.arity with
-      | Exactly k when k = vm.nargs && fp + c.frame_words <= limit ->
-          (* Fast path: arity matches and the frame extent fits the
-             active segment — nothing to set up.  An armed timer only
-             needs its per-call decrement here; the expensive handler
-             dispatch happens on the call that exhausts the slice, so
-             code running under preemption (the thread benchmarks) stays
-             on the fast path between switches. *)
-          let t = vm.timer in
-          if t > 0 then
-            if t = 1 then begin
-              vm.timer <- -1;
-              sync vm (steps + 1) (pc + 1) acc;
-              fire_timer vm;
-              relaunch vm
-            end
-            else begin
-              vm.timer <- t - 1;
-              exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-            end
-          else exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-      | _ ->
-          sync vm (steps + 1) (pc + 1) acc;
-          enter vm;
-          relaunch vm)
-  | Halt ->
-      sync vm (steps + 1) (pc + 1) acc;
-      vm.halted <- true
-  (* ---- fused superinstructions (emitted by Optimize.peephole) ---- *)
-  | Const_push (v, i) ->
-      seg.(fp + i) <- v;
-      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-  | Local_push (i, j) ->
-      seg.(fp + j) <- seg.(fp + i);
-      exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-  | Free_push (i, j) -> (
-      match seg.(fp + 1) with
-      | Closure c ->
-          seg.(fp + j) <- c.frees.(i);
-          exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-      | v ->
-          sync vm (steps + 1) (pc + 1) acc;
-          Values.err "vm: free-push outside closure" [ v ])
-  | Global_push (g, i) ->
-      if g.gdefined then begin
-        seg.(fp + i) <- g.gval;
-        exec vm instrs seg fp limit budget acc (steps + 1) (pc + 1)
-      end
-      else begin
-        sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("unbound variable: " ^ g.gname) []
-      end
-  | Prim_call site ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let v =
-          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
-        in
-        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
-      end
-      else begin
-        prim_deopt_call vm site;
-        relaunch vm
-      end
-  | Prim_call1 site ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(1) in
-        args.(0) <- seg.(fp + site.ps_disp + 2);
-        let v = site.ps_fn args in
-        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
-      end
-      else begin
-        prim_deopt_call vm site;
-        relaunch vm
-      end
-  | Prim_call2 site ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(2) in
-        let base = fp + site.ps_disp + 2 in
-        args.(0) <- seg.(base);
-        args.(1) <- seg.(base + 1);
-        let v = site.ps_fn args in
-        exec vm instrs seg fp limit (budget - (steps + 1)) v 0 (pc + 1)
-      end
-      else begin
-        prim_deopt_call vm site;
-        relaunch vm
-      end
-  | Local_branch_false (i, t) ->
-      (* Fused Local_ref + Branch_false: one dispatch.  The skipped
-         branch sits at [pc + 1]; fall through lands past it. *)
-      let v = seg.(fp + i) in
-      exec vm instrs seg fp limit budget v (steps + 1)
-        (match v with Bool false -> t | _ -> pc + 2)
-  | Prim_branch1 (site, t) ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(1) in
-        args.(0) <- seg.(fp + site.ps_disp + 2);
-        let v = site.ps_fn args in
-        exec vm instrs seg fp limit (budget - (steps + 1)) v 0
-          (match v with Bool false -> t | _ -> pc + 2)
-      end
-      else begin
-        (* The interned [ps_ret] resumes at the retained [Branch_false]
-           at [pc + 1], which re-tests the call's returned value. *)
-        prim_deopt_call vm site;
-        relaunch vm
-      end
-  | Prim_branch2 (site, t) ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let args = vm.scratch.(2) in
-        let base = fp + site.ps_disp + 2 in
-        args.(0) <- seg.(base);
-        args.(1) <- seg.(base + 1);
-        let v = site.ps_fn args in
-        exec vm instrs seg fp limit (budget - (steps + 1)) v 0
-          (match v with Bool false -> t | _ -> pc + 2)
-      end
-      else begin
-        prim_deopt_call vm site;
-        relaunch vm
-      end
-  | Prim_tail_call site ->
-      sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
-        let stats = vm.m.Control.stats in
-        if stats.Stats.enabled then begin
-          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
-          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
-        end;
-        let v =
-          site.ps_fn (prim_args vm seg (fp + site.ps_disp + 2) site.ps_nargs)
-        in
-        match seg.(fp) with
-        | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
-            (* Batched counters were already flushed by [sync] above. *)
-            let nfp = fp - r.rdisp in
-            vm.code <- r.rcode;
-            vm.m.Control.fp <- nfp;
-            exec vm r.rcode.instrs seg nfp limit (budget - (steps + 1)) v 0
-              r.rpc
-        | _ ->
-            vm.acc <- v;
-            do_return vm;
-            relaunch vm
-      end
-      else begin
-        prim_deopt_tail_call vm site;
-        relaunch vm
-      end
-
-(* Re-establish the cached landing state from [vm] after a control
-   transfer and continue executing (or stop, when the transfer halted the
-   machine).  The entry-pc bounds check here is what licences the
-   [unsafe_get] fetch inside the landing. *)
-and relaunch vm =
-  if not vm.halted then begin
-    let instrs = vm.code.instrs in
-    let pc = vm.pc in
-    if pc < 0 || pc >= Array.length instrs then
-      Values.err "vm: corrupt return address (pc out of range)" [];
-    let m = vm.m in
-    let sr = m.Control.sr in
-    exec vm instrs sr.seg m.Control.fp
-      (sr.base + sr.size)
-      (if vm.fuel < 0 then max_int else vm.fuel)
-      vm.acc 0 pc
-  end
-
-(* One hoisted exception frame per handled error, instead of the old
-   per-instruction [try ... with] in [step_catching].  The handler branch
-   of [match ... with exception] is outside the protected region, so the
-   recursive call is a tail call: handling N errors takes O(1) stack. *)
-let rec run_loop vm =
-  match relaunch vm with
-  | () -> ()
-  | exception (Scheme_error (msg, irritants) as exn) -> (
-      match pop_error_handler vm with
-      | Some h ->
-          inject_error_handler vm h msg irritants;
-          run_loop vm
-      | None -> raise exn)
-
-let run ?(fuel = -1) vm code =
-  let m = vm.m in
-  Control.init_frame m (Retaddr { rcode = halt_code; rpc = 0; rdisp = 0 });
-  m.Control.sr.seg.(m.Control.fp + 1) <- Closure { code; frees = [||] };
-  vm.code <- code;
-  vm.pc <- 0;
-  vm.nargs <- 0;
-  vm.acc <- Void;
-  vm.halted <- false;
-  vm.fuel <- fuel;
-  vm.winders <- [];
-  run_loop vm;
-  vm.acc
-
-let run_program ?fuel vm codes =
-  List.fold_left (fun _ code -> run ?fuel vm code) Void codes
-
-let eval ?fuel ?optimize ?peephole vm src =
-  run_program ?fuel vm
-    (Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src)
+let create = Vm_policy.create
+let control (vm : t) = vm.Engine.pol
+let stats = Engine.stats
+let globals = Engine.globals
+let output = Engine.output
+let run = Vm_core.run
+let run_program = Vm_core.run_program
+let eval = Vm_core.eval

@@ -1,5 +1,6 @@
-(** The stack virtual machine: a direct-style bytecode interpreter whose
-    control stack is the paper's segmented stack ({!Control}).
+(** The stack virtual machine: the shared execution engine ({!Engine},
+    instantiated as [Vm_core]) running over the paper's segmented stack
+    ({!Control}) as its frame policy ({!Vm_policy}).
 
     Continuation capture ([%call/cc], [%call/1cc]) seals or encapsulates
     stack segments without copying; multi-shot invocation copies (with
@@ -12,35 +13,20 @@
     [handler] to be called, as if inserted at the interrupt point, after
     [n] further procedure entries. *)
 
-type t = {
-  m : Control.t;
-  globals : Globals.t;
-  menv : Macro.menv;  (** session [define-syntax] macros *)
-  out : Buffer.t;  (** sink for [display]/[write]/[newline] *)
-  mutable acc : Rt.value;
-  mutable code : Rt.code;
-  mutable pc : int;
-  mutable nargs : int;
-  mutable timer : int;
-  mutable timer_handler : Rt.value;
-  mutable halted : bool;
-  mutable fuel : int;  (** negative = unlimited *)
-  mutable winders : Rt.winder list;
-      (** native dynamic-wind chain, innermost extent first; shares
-          structure with the [k_winders] snapshots of captured
-          continuations (rewind/unwind compares physically) *)
-  scratch : Rt.value array array;
-      (** reusable argument buffers for pure-primitive calls:
-          [scratch.(k)] has length [k]; no [Array.init] on the prim-call
-          fast path *)
-}
+type t = Control.t Engine.vm
 
 exception Vm_fuel_exhausted
 
 val create : ?config:Control.config -> ?stats:Stats.t -> unit -> t
-(** A machine with primitives installed in a fresh global table. *)
+(** A machine with primitives installed in a fresh global table.  The
+    [stats] object (freshly allocated when not supplied) is shared with
+    the underlying segmented-stack machine. *)
+
+val control : t -> Control.t
+(** The machine's segmented-stack state (its frame-policy state). *)
 
 val stats : t -> Stats.t
+val globals : t -> Globals.t
 
 val run : ?fuel:int -> t -> Rt.code -> Rt.value
 (** Execute a zero-argument code object to completion and return the value

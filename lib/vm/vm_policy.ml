@@ -1,0 +1,493 @@
+open Rt
+open Engine
+
+(* The segmented-stack frame policy (the paper's control representation),
+   instantiating the engine's dispatch loop ([Vm_core], generated from
+   lib/engine/engine_core.ml).  The policy owns everything that knows
+   control lives on {!Control}'s segmented stack: frame push/pop,
+   capture/reinstatement, the wind trampoline's stack frames, overflow
+   re-checks, and the slow paths of call/return/enter. *)
+
+type t = Control.t Engine.vm
+
+(* Landing constants: frames are contiguous slices of the active
+   segment, so same-segment call/tail-call/return may stay inside a
+   landing, and a [Call] to a pure primitive pushes nothing. *)
+let fast = true
+let frames_on_pure_call = false
+
+let slots (vm : t) = vm.pol.Control.sr.seg
+let frame_base (vm : t) = vm.pol.Control.fp
+let limit (vm : t) = Control.seg_limit vm.pol
+let[@inline] set_fp (vm : t) nfp = vm.pol.Control.fp <- nfp
+
+(* Stack slots are plainly mutable (sealing, not sharing, protects
+   captured frames), so a slot write never replaces the array. *)
+let[@inline] set (_ : t) (slots : value array) fp i v =
+  slots.(fp + i) <- v;
+  slots
+
+let pure_call_skips (_ : t) (_ : call_site) = false
+
+(* ------------------------------------------------------------------ *)
+(* Returns and underflow                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame re-entered after a return or continuation invocation may sit
+   near the top of a smaller segment than the one its [Enter] validated:
+   re-establish the frame-extent guarantee before its code resumes. *)
+let ensure_resumed_frame_room (vm : t) =
+  let m = vm.pol in
+  let fw = vm.code.frame_words in
+  if not (Control.room m fw) then
+    Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:fw
+
+let do_return (vm : t) =
+  let m = vm.pol in
+  match m.Control.sr.seg.(m.Control.fp) with
+  | Retaddr r ->
+      m.Control.fp <- m.Control.fp - r.rdisp;
+      vm.code <- r.rcode;
+      vm.pc <- r.rpc;
+      ensure_resumed_frame_room vm
+  | Underflow_mark -> (
+      (* Paper Section 3.2: returning through the bottom frame of a
+         segment implicitly invokes the record linked below — consuming
+         it if it is one-shot. *)
+      match Control.underflow m with
+      | Some r ->
+          vm.code <- r.rcode;
+          vm.pc <- r.rpc;
+          ensure_resumed_frame_room vm
+      | None -> vm.halted <- true)
+  | v -> Values.err "vm: corrupt frame: bad return slot" [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply [f] whose frame starts at [nfp] (return slot already correct and
+   arguments at [nfp+2 ..]).  Used for both non-tail calls (fresh return
+   address) and tail calls (inherited return slot). *)
+let rec apply (vm : t) f nfp nargs =
+  let m = vm.pol in
+  let stats = vm.stats in
+  match f with
+  | Closure c ->
+      m.Control.fp <- nfp;
+      vm.code <- c.code;
+      vm.pc <- 0;
+      vm.nargs <- nargs;
+      if stats.Stats.enabled then stats.Stats.calls <- stats.Stats.calls + 1
+  | Prim { pfn = Pure fn; parity; pname } ->
+      if not (Bytecode.arity_matches parity nargs) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      let seg = m.Control.sr.seg in
+      let args = prim_args vm seg (nfp + 2) nargs in
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      vm.acc <- fn args;
+      (* Frame pointer is untouched for pure primitives: if this was a
+         tail call ([nfp] = fp) the caller's Return follows; if it was a
+         non-tail call, execution simply continues in the caller. *)
+      if nfp = m.Control.fp then do_return vm
+  | Prim { pfn = Special sp; parity; pname } ->
+      if not (Bytecode.arity_matches parity nargs) then
+        Values.err (pname ^ ": wrong number of arguments") [];
+      m.Control.fp <- nfp;
+      if stats.Stats.enabled then
+        stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+      special vm sp nargs
+  | Cont c -> invoke_continuation vm c nfp nargs
+  | v -> Values.err "application of non-procedure" [ v ]
+
+and invoke_continuation vm c nfp nargs =
+  let m = vm.pol in
+  let seg = m.Control.sr.seg in
+  let v =
+    if nargs = 1 then seg.(nfp + 2)
+    else if nargs = 0 then empty_mvals
+    else if nargs = 2 then Mvals [ seg.(nfp + 2); seg.(nfp + 3) ]
+    else Mvals (collect_list seg (nfp + 2) (nargs - 1) [])
+  in
+  (* Fast path: the machine already sits at the continuation's winder
+     chain (physical equality) — reinstate directly.  Under the
+     [--scheme-winders] prelude both chains stay [[]], so this is
+     exactly the historical behavior. *)
+  if c.k_winders == vm.winders then reinstate_cont vm c v
+  else start_wind vm c v
+
+and reinstate_cont vm c v =
+  let m = vm.pol in
+  let r = Control.reinstate m c.sr in
+  vm.code <- r.rcode;
+  vm.pc <- r.rpc;
+  ensure_resumed_frame_room vm;
+  vm.acc <- v
+
+(* The winder chains differ: push a wind-trampoline frame above the
+   current frame and step it.  The frame records the continuation, its
+   payload, the target chain and a pending-commit slot (see the layout
+   comment in [Prims]); every guard thunk returns through [wind_ret],
+   whose single instruction tail-calls back into [Sp_wind].  Capturing
+   inside a guard therefore snapshots ordinary frames and the protocol
+   survives re-entry. *)
+and start_wind vm c v =
+  let m = vm.pol in
+  let fw = vm.code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 12);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let dfp = fp + fw in
+  seg.(dfp) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  seg.(dfp + 1) <- Prim Prims.wind_prim;
+  seg.(dfp + 2) <- Cont c;
+  seg.(dfp + 3) <- v;
+  seg.(dfp + 4) <- WindersV c.k_winders;
+  seg.(dfp + 5) <- Bool false;
+  m.Control.fp <- dfp;
+  wind_step vm
+
+(* One trampoline step.  fp is at a wind frame; room for the guard call
+   area (fp+6, fp+7) is guaranteed by [start_wind]'s [ensure_room] on
+   entry and by [wind_resume_code.frame_words] on every re-entry.  The
+   chain arithmetic is {!Engine.wind_plan}'s. *)
+and wind_step vm =
+  let m = vm.pol in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  (match seg.(fp + 5) with
+  | WindersV w ->
+      (* A before thunk just returned: commit its extent. *)
+      vm.winders <- w;
+      seg.(fp + 5) <- Bool false
+  | _ -> ());
+  let target =
+    match seg.(fp + 4) with
+    | WindersV w -> w
+    | v -> Values.err "vm: corrupt wind frame" [ v ]
+  in
+  match Engine.wind_plan vm.winders target with
+  | Wind_done -> (
+      (* Done: reinstate.  A shot one-shot record raises here, after the
+         winds have run — the same point the Scheme wrapper checks. *)
+      match seg.(fp + 2) with
+      | Cont c -> reinstate_cont vm c seg.(fp + 3)
+      | v -> Values.err "vm: corrupt wind frame" [ v ])
+  | plan ->
+      let thunk =
+        match plan with
+        | Unwind (w, rest) ->
+            vm.winders <- rest;
+            w.w_after
+        | Rewind (w, node) ->
+            seg.(fp + 5) <- WindersV node;
+            w.w_before
+        | Wind_done -> assert false
+      in
+      seg.(fp + 6) <- Prims.wind_ret;
+      seg.(fp + 7) <- thunk;
+      (* Preset the resumption point for frame-less (pure) guards, as in
+         the [Sp_dynamic_wind] arms. *)
+      vm.code <- Prims.wind_resume_code;
+      vm.pc <- 0;
+      apply vm thunk (fp + 6) 0
+
+(* Specials execute with fp at their own frame: [ret][prim][args...]. *)
+and special vm sp nargs =
+  let m = vm.pol in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  match sp with
+  | Sp_callcc ->
+      let p = Prims.check_procedure "%call/cc" seg.(fp + 2) in
+      let sr = Control.capture_multi m in
+      let k = Cont { sr; one_shot = false; k_winders = vm.winders } in
+      tail_apply_2 vm p k
+  | Sp_call1cc ->
+      let p = Prims.check_procedure "%call/1cc" seg.(fp + 2) in
+      let sr = Control.capture_oneshot m in
+      let one_shot = not (Control.is_multi sr) in
+      let k = Cont { sr; one_shot; k_winders = vm.winders } in
+      tail_apply_2 vm p k
+  | Sp_apply ->
+      let f = Prims.check_procedure "apply" seg.(fp + 2) in
+      let fixed = nargs - 2 in
+      let lst = seg.(fp + 2 + nargs - 1) in
+      (* Spread the last-argument list in place: count it (validating
+         properness), make room while keeping the whole current frame
+         live, shift the fixed args down one slot, then walk the list a
+         second time writing elements directly into the frame.  No
+         intermediate arrays or list copies. *)
+      let rec spread_len v n =
+        match v with
+        | Nil -> n
+        | Pair p -> spread_len p.cdr (n + 1)
+        | _ -> Values.err "apply: expected a proper list" [ lst ]
+      in
+      let rest = spread_len lst 0 in
+      let n = fixed + rest in
+      Control.ensure_room m ~live_top:(fp + 2 + nargs) ~need:(n + 8);
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      seg.(fp + 1) <- f;
+      for i = 0 to fixed - 1 do
+        seg.(fp + 2 + i) <- seg.(fp + 3 + i)
+      done;
+      let rec spread_fill v i =
+        match v with
+        | Pair p ->
+            seg.(i) <- p.car;
+            spread_fill p.cdr (i + 1)
+        | _ -> ()
+      in
+      spread_fill lst (fp + 2 + fixed);
+      apply vm f fp n
+  | Sp_values ->
+      (if nargs = 1 then vm.acc <- seg.(fp + 2)
+       else if nargs = 0 then vm.acc <- empty_mvals
+       else if nargs = 2 then vm.acc <- Mvals [ seg.(fp + 2); seg.(fp + 3) ]
+       else vm.acc <- Mvals (collect_list seg (fp + 2) (nargs - 1) []));
+      do_return vm
+  | Sp_set_timer ->
+      let ticks = Prims.check_int "%set-timer!" seg.(fp + 2) in
+      vm.timer_handler <- seg.(fp + 3);
+      vm.timer <- (if ticks <= 0 then -1 else ticks);
+      vm.acc <- Void;
+      do_return vm
+  | Sp_get_timer ->
+      vm.acc <- Int (max vm.timer 0);
+      do_return vm
+  | Sp_stats ->
+      let name =
+        match seg.(fp + 2) with
+        | Sym s -> s
+        | v -> Values.type_error "%stat" "symbol" v
+      in
+      (vm.acc <-
+         (match Stats.get vm.stats name with
+         | n -> Int n
+         | exception Not_found ->
+             Values.err ("%stat: unknown counter " ^ name) []));
+      do_return vm
+  | Sp_backtrace ->
+      vm.acc <-
+        Values.list_to_value
+          (List.map (fun n -> sym n) (Control.backtrace m));
+      do_return vm
+  | Sp_eval ->
+      let datum = seg.(fp + 2) in
+      let code = Compiler.compile_eval ~menv:vm.menv vm.globals datum in
+      let clos = Closure { code; frees = [||] } in
+      seg.(fp + 1) <- clos;
+      apply vm clos fp 0
+  | Sp_dynamic_wind when nargs = 3 ->
+      (* Entry: extend the frame in place with state/saved slots
+         ([ret][prim][before][thunk][after][state][saved]) and call the
+         before thunk through [dw_ret_before].  Resumptions re-enter
+         this special via [Prims.dw_resume_code] with nargs = 5. *)
+      Control.ensure_room m ~live_top:(fp + 5) ~need:12;
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      seg.(fp + 5) <- Int 0;
+      seg.(fp + 6) <- Void;
+      let before = seg.(fp + 2) in
+      seg.(fp + 7) <- Prims.dw_ret_before;
+      seg.(fp + 8) <- before;
+      (* Preset the resumption point: a pure-primitive guard pushes no
+         frame and falls through to the relaunch, which must land
+         exactly where a normal return through the ret slot would. *)
+      vm.code <- Prims.dw_resume_code;
+      vm.pc <- 0;
+      apply vm before (fp + 7) 0
+  | Sp_dynamic_wind -> (
+      if nargs <> 5 then
+        Values.err "%dynamic-wind: expected 3 arguments" [];
+      match seg.(fp + 5) with
+      | Int 1 ->
+          (* before returned: enter the extent, run the thunk *)
+          vm.winders <-
+            { w_before = seg.(fp + 2); w_after = seg.(fp + 4) } :: vm.winders;
+          let thunk = seg.(fp + 3) in
+          seg.(fp + 7) <- Prims.dw_ret_thunk;
+          seg.(fp + 8) <- thunk;
+          vm.code <- Prims.dw_resume_code;
+          vm.pc <- 2;
+          apply vm thunk (fp + 7) 0
+      | Int 2 ->
+          (* thunk returned (value stashed at fp+6): leave the extent
+             *before* running the after thunk, as the prelude does *)
+          (match vm.winders with
+          | _ :: rest -> vm.winders <- rest
+          | [] -> ());
+          let after = seg.(fp + 4) in
+          seg.(fp + 7) <- Prims.dw_ret_after;
+          seg.(fp + 8) <- after;
+          vm.code <- Prims.dw_resume_code;
+          vm.pc <- 5;
+          apply vm after (fp + 7) 0
+      | Int 3 ->
+          vm.acc <- seg.(fp + 6);
+          do_return vm
+      | v -> Values.err "vm: corrupt %dynamic-wind frame" [ v ])
+  | Sp_wind -> wind_step vm
+
+(* Tail-call [p] with the single argument [k] from the current frame
+   (used by the capture operations after sealing). *)
+and tail_apply_2 vm p k =
+  let m = vm.pol in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  seg.(fp + 1) <- p;
+  seg.(fp + 2) <- k;
+  apply vm p fp 1
+
+(* ------------------------------------------------------------------ *)
+(* Engine transfer hooks                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Slow-path [Call]: the engine has synced and counted the frame; write
+   the interned return address and dispatch. *)
+let call (vm : t) site f =
+  let m = vm.pol in
+  let nfp = m.Control.fp + site.cs_disp in
+  m.Control.sr.seg.(nfp) <- site.cs_ret;
+  apply vm f nfp site.cs_nargs
+
+(* Slow-path [Tail_call]: frame reused in place, return slot
+   inherited. *)
+let tail_call (vm : t) ~disp ~nargs f =
+  let m = vm.pol in
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  seg.(fp + 1) <- f;
+  blit_args seg (fp + disp + 2) (fp + 2) nargs;
+  apply vm f fp nargs
+
+(* ------------------------------------------------------------------ *)
+(* Procedure entry: arity, overflow, rest collection, timer            *)
+(* ------------------------------------------------------------------ *)
+
+let fire_timer (vm : t) =
+  let m = vm.pol in
+  let code = vm.code in
+  let fw = code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 4);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let handler = vm.timer_handler in
+  (* The fire always happens at procedure entry, so the resumption point
+     (pc, displacement) is a constant of [code]: intern the return
+     address on the code object instead of allocating one per
+     preemption.  The guard keeps this sound should a future caller fire
+     from elsewhere. *)
+  let ra =
+    match code.timer_ret with
+    | Retaddr r as ra when r.rpc = vm.pc && r.rdisp = fw -> ra
+    | _ ->
+        let ra = Retaddr { rcode = code; rpc = vm.pc; rdisp = fw } in
+        code.timer_ret <- ra;
+        ra
+  in
+  seg.(fp + fw) <- ra;
+  seg.(fp + fw + 1) <- handler;
+  apply vm handler (fp + fw) 0
+
+let enter (vm : t) =
+  let m = vm.pol in
+  let c = vm.code in
+  let n = vm.nargs in
+  (match c.arity with
+  | Exactly k ->
+      if n <> k then
+        Values.err
+          (Printf.sprintf "%s: expected %d arguments, got %d" c.cname k n)
+          []
+  | At_least k ->
+      if n < k then
+        Values.err
+          (Printf.sprintf "%s: expected at least %d arguments, got %d" c.cname
+             k n)
+          []);
+  Control.ensure_room m ~live_top:(m.Control.fp + 2 + n) ~need:c.frame_words;
+  (match c.arity with
+  | At_least k ->
+      let fp = m.Control.fp in
+      let seg = m.Control.sr.seg in
+      let rest = ref Nil in
+      for i = n - 1 downto k do
+        rest := Values.cons seg.(fp + 2 + i) !rest
+      done;
+      seg.(fp + 2 + k) <- !rest
+  | Exactly _ -> ());
+  if vm.timer > 0 then begin
+    vm.timer <- vm.timer - 1;
+    if vm.timer = 0 then begin
+      vm.timer <- -1;
+      fire_timer vm
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inline-cache deoptimization                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The inline-cache guard failed: the global a fused site was compiled
+   against has been assigned ([set!] of [+] and the like).  Reconstruct
+   the generic call the peephole replaced and take the slow path with
+   whatever value the cell holds now. *)
+let prim_deopt_call (vm : t) site =
+  let m = vm.pol in
+  let stats = vm.stats in
+  let g = site.ps_global in
+  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let nfp = fp + site.ps_disp in
+  seg.(nfp + 1) <- g.gval;
+  seg.(nfp) <- site.ps_ret;
+  if stats.Stats.enabled then begin
+    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+    stats.Stats.frames <- stats.Stats.frames + 1
+  end;
+  apply vm g.gval nfp site.ps_nargs
+
+let prim_deopt_tail_call (vm : t) site =
+  let m = vm.pol in
+  let stats = vm.stats in
+  if stats.Stats.enabled then
+    stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
+  let g = site.ps_global in
+  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  let f = g.gval in
+  seg.(fp + 1) <- f;
+  blit_args seg (fp + site.ps_disp + 2) (fp + 2) site.ps_nargs;
+  apply vm f fp site.ps_nargs
+
+(* ------------------------------------------------------------------ *)
+(* Error-handler injection, machine setup                              *)
+(* ------------------------------------------------------------------ *)
+
+let inject_error_handler (vm : t) handler msg irritants =
+  let m = vm.pol in
+  let fw = vm.code.frame_words in
+  Control.ensure_room m ~live_top:(m.Control.fp + fw) ~need:(fw + 6);
+  let fp = m.Control.fp in
+  let seg = m.Control.sr.seg in
+  seg.(fp + fw) <- Retaddr { rcode = vm.code; rpc = vm.pc; rdisp = fw };
+  seg.(fp + fw + 1) <- handler;
+  seg.(fp + fw + 2) <- Str (Bytes.of_string msg);
+  seg.(fp + fw + 3) <- Values.list_to_value irritants;
+  apply vm handler (fp + fw) 2
+
+let init_run (vm : t) code =
+  let m = vm.pol in
+  Control.init_frame m
+    (Retaddr { rcode = Engine.halt_code; rpc = 0; rdisp = 0 });
+  m.Control.sr.seg.(m.Control.fp + 1) <- Closure { code; frees = [||] }
+
+let create ?(config = Control.default_config) ?stats () : t =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  Engine.create ~stats (Control.create ~stats config)

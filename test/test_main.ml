@@ -14,5 +14,6 @@ let () =
       ("macros", Test_macros.suite);
       ("peephole", Test_peephole.suite);
       ("perf-counters", Test_perf_counters.suite);
+      ("engine", Test_engine.suite);
       ("differential", Test_diff.suite);
     ]
