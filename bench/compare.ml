@@ -11,15 +11,26 @@
    so their deltas are printed for information only and never affect the
    exit status.
 
-   The experiment sets must match: an experiment present in only one
-   file is a failure (exit 1), not a note — a silently dropped experiment
-   would otherwise read as "no regressions" while measuring nothing, and
-   a new experiment belongs in a refreshed baseline, not an unchecked
-   side channel.  Likewise a deterministic counter recorded in the
-   baseline but absent from the current run is a failure; counters the
-   baseline never recorded are skipped (older baselines predate newer
-   counters).  A schema or mode mismatch is a hard error (exit 2)
-   because the numbers would not be comparable. *)
+   Every experiment of the baseline must appear in the current run: a
+   silently dropped experiment would otherwise read as "no regressions"
+   while measuring nothing, so that direction is a failure (exit 1).
+   The other direction is a note, not a failure — an experiment only in
+   the current run is how a new backend or workload first shows up
+   against an older baseline; it still belongs in the next refreshed
+   baseline, where it becomes load-bearing.  Likewise a deterministic
+   counter recorded in the baseline but absent from the current run is a
+   failure; counters the baseline never recorded are skipped (older
+   baselines predate newer counters).  An experiment that records "ms"
+   without "ms_median" draws a warning — it was measured with --iters 1,
+   so there is no robustness check on its headline number.  A schema or
+   mode mismatch is a hard error (exit 2) because the numbers would not
+   be comparable.
+
+   Experiments named "<e>.closure" or "<e>.closure-<op>" are the
+   template-compiled backend ({!Closurevm}) running the same workload as
+   "<e>.stack" / "<e>.<op>"; when the baseline has the stack-backend
+   counterpart, its wall clock against the current closure run is
+   printed as an explicit speedup line. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (objects, strings, numbers) -- the harness       *)
@@ -223,7 +234,9 @@ let () =
   let regressions = ref 0
   and improvements = ref 0
   and checked = ref 0
-  and missing = ref 0 in
+  and missing = ref 0
+  and warnings = ref 0
+  and notes = ref 0 in
   Printf.printf "comparing %s (baseline) -> %s, tolerance %.1f%%\n" base_path
     cur_path tolerance;
   Printf.printf "  %-28s %-16s %14s %14s %9s\n" "experiment" "counter"
@@ -283,15 +296,69 @@ let () =
   List.iter
     (fun (name, _) ->
       if not (List.mem_assoc name base_exps) then (
-        incr missing;
+        incr notes;
         Printf.printf
-          "  %-28s: MISSING in baseline (refresh the baseline to cover it)\n"
+          "  %-28s: note: only in current (refresh the baseline to pin it)\n"
           name))
+    cur_exps;
+  (* Median robustness check: "ms" without "ms_median" means the run was
+     measured once (--iters 1), so the headline number has no noise
+     control. *)
+  List.iter
+    (fun (name, j) ->
+      match j with
+      | Obj m when num m "ms" <> None && num m "ms_median" = None ->
+          incr warnings;
+          Printf.printf
+            "  %-28s: warning: records \"ms\" without \"ms_median\" (measured \
+             with --iters 1?)\n"
+            name
+      | _ -> ())
+    cur_exps;
+  (* Closure-backend speedup lines: pair each current "*.closure*"
+     experiment with the stack-backend key it shadows and report the
+     wall-clock ratio against the baseline. *)
+  let stack_counterpart name =
+    match String.index_opt name '.' with
+    | None -> None
+    | Some dot ->
+        let prefix = String.sub name 0 (dot + 1) in
+        let rest = String.sub name (dot + 1) (String.length name - dot - 1) in
+        let closure_dash = "closure-" in
+        if rest = "closure" then Some (prefix ^ "stack")
+        else if
+          String.length rest > String.length closure_dash
+          && String.sub rest 0 (String.length closure_dash) = closure_dash
+        then
+          Some
+            (prefix
+            ^ String.sub rest
+                (String.length closure_dash)
+                (String.length rest - String.length closure_dash))
+        else None
+  in
+  List.iter
+    (fun (name, j) ->
+      match (j, stack_counterpart name) with
+      | Obj cm, Some base_name -> (
+          match
+            ( num cm "ms",
+              match List.assoc_opt base_name base_exps with
+              | Some (Obj bm) -> num bm "ms"
+              | _ -> None )
+          with
+          | Some cur_ms, Some base_ms when cur_ms > 0. ->
+              Printf.printf
+                "  closure backend: %s %.1f ms vs baseline %s %.1f ms = \
+                 %.2fx speedup\n"
+                name cur_ms base_name base_ms (base_ms /. cur_ms)
+          | _ -> ())
+      | _ -> ())
     cur_exps;
   Printf.printf
     "%d deterministic counters checked: %d regression(s), %d improvement(s), \
-     %d missing\n"
-    !checked !regressions !improvements !missing;
+     %d missing, %d warning(s), %d note(s)\n"
+    !checked !regressions !improvements !missing !warnings !notes;
   if !regressions > 0 || !missing > 0 then (
     if !regressions > 0 then
       Printf.printf
@@ -299,6 +366,6 @@ let () =
         tolerance;
     if !missing > 0 then
       Printf.printf
-        "FAIL: experiments/counters missing on one side (suites must match)\n";
+        "FAIL: experiments/counters missing from the current run\n";
     exit 1)
   else Printf.printf "OK: no deterministic-counter regressions\n"

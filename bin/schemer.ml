@@ -4,6 +4,7 @@
      dune exec bin/schemer.exe -- [FILE...]            run files
      dune exec bin/schemer.exe                         REPL
      dune exec bin/schemer.exe -- --backend heap ...   heap-frame VM
+     dune exec bin/schemer.exe -- --backend closure .. template-compiled VM
      dune exec bin/schemer.exe -- --seg-words 256 --overflow callcc ...
      dune exec bin/schemer.exe -- --stats -e '(fib 20)'
      dune exec bin/schemer.exe -- --disassemble -e '(lambda (x) x)' *)
@@ -156,7 +157,13 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
   0
 
 let backend_conv =
-  Arg.enum [ ("stack", `Stack); ("heap", `Heap); ("oracle", `Oracle) ]
+  Arg.enum
+    [
+      ("stack", `Stack);
+      ("closure", `Closure);
+      ("heap", `Heap);
+      ("oracle", `Oracle);
+    ]
 
 let overflow_conv =
   Arg.enum [ ("call1cc", Control.As_call1cc); ("callcc", Control.As_callcc) ]
@@ -189,6 +196,7 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
   let backend =
     match backend_kind with
     | `Stack -> Scheme.Stack config
+    | `Closure -> Scheme.Closure config
     | `Heap -> Scheme.Heap
     | `Oracle -> Scheme.Oracle
   in
@@ -205,7 +213,14 @@ let cmd =
     Arg.(
       value
       & opt backend_conv `Stack
-      & info [ "backend" ] ~doc:"Execution backend: stack, heap, or oracle.")
+      & info [ "backend" ]
+          ~doc:
+            "Execution backend: stack (the paper's segmented-stack VM), \
+             closure (the same machine driven by template-compiled OCaml \
+             closures -- identical semantics and counters, faster \
+             dispatch), heap (heap-frame baseline), or oracle (CPS \
+             reference interpreter).  All --seg-words/--overflow/... knobs \
+             apply to stack and closure.")
   in
   let seg_words =
     Arg.(

@@ -1,0 +1,1124 @@
+(* The closure-compiled stack VM: template compilation to threaded code.
+   =====================================================================
+
+   Third frame-policy backend.  The machine is *the same machine* as the
+   stack VM — [t] is [Vm_policy.t], i.e. {!Engine}'s vm record over the
+   paper's segmented stack — but instead of instantiating the engine's
+   fetch/decode dispatch loop, each code object is translated once, at
+   compile time, into an array of pre-allocated OCaml closures ("steps"),
+   one per pc.  A step performs its instruction's work and then calls the
+   next step *directly* (the continuation closure is captured at template
+   build time for straight-line code), so executing a basic block costs a
+   chain of known-arity OCaml calls with zero instruction fetches and
+   zero dispatch branches: classic threaded code / template compilation,
+   in pure OCaml — no codegen, no [Obj], no unsafe casts.  Every indirect
+   call site in the template is distinct, which also un-aliases the
+   branch-target history that a single dispatch `match` merges.
+
+   What is deliberately NOT reimplemented: every control-transfer slow
+   path — non-fast calls and returns, continuation capture/reinstatement
+   ([%call/cc], [%call/1cc]), the native dynamic-wind trampoline, arity
+   mismatch and overflow at [Enter], timer fire, inline-cache
+   deoptimization, error-handler injection — goes through {!Vm_policy},
+   the *same functions the stack VM's dispatch loop calls*.  Stack
+   segments, sealing, the size-classed segment cache, hysteresis,
+   promotion, and every [Stats] counter they maintain are therefore
+   shared by construction: the semantic counters (calls, captures,
+   words-copied, seg-alloc-words, cache hits) of a closure-backend run
+   are byte-identical to the stack backend's, which the counter
+   regression suite pins.
+
+   Templates are cached on the code object ([Rt.code.templ], an
+   extensible-variant slot so the runtime does not depend on this
+   library), so a code object is compiled at most once; [eval] compiles
+   the whole [Make_closure] closure DAG of a program eagerly before
+   running it.  The shared code objects ([Engine.halt_code] and the
+   dynamic-wind resume codes in {!Prims}) are compiled at module
+   initialization, before any {!Scheme.Pool} domain can spawn, so
+   domains only ever read those templates.
+
+   Fuel and instruction accounting keep the engine's batched landing
+   discipline: [steps] counts instructions executed since the last
+   flush, [budget] is the remaining fuel at the landing's entry, and
+   [sync] writes back pc/acc/instrs/fuel before anything that can
+   observe the machine or raise.  The one relaxation: the engine checks
+   [steps >= budget] before *every* instruction, while a template checks
+   at the instructions that can close a cycle or leave the block
+   (branches, calls, returns, enters).  Total [instrs] on normal
+   termination is identical to the stack backend's; on exhaustion the
+   closure backend may overrun the budget by the tail of a basic block
+   before raising (the fuel-exactness pins are stack-backend-only for
+   this reason). *)
+
+open Rt
+open Engine
+
+type t = Vm_policy.t
+
+exception Vm_fuel_exhausted = Engine.Vm_fuel_exhausted
+
+(* One compiled step: [step vm slots fp limit budget acc steps] executes
+   the instruction at its pc with the landing state in parameters,
+   exactly the engine loop's register set minus [instrs]/[pc], which are
+   baked into the closure.  [limit] is the current segment's frame
+   limit; the template-to-template fast transfers never change segment,
+   so it is invariant along a chain and [relaunch] recomputes it on
+   every slow-path re-entry. *)
+type step = t -> value array -> int -> int -> int -> value -> int -> unit
+
+type Rt.tmpl += Template of step array
+
+(* Identical to the engine's [sync]: flush the batched pc/acc/instruction
+   count/fuel before any observation point. *)
+let[@inline] sync (vm : t) steps pc acc =
+  vm.pc <- pc;
+  vm.acc <- acc;
+  let stats = vm.stats in
+  if stats.Stats.enabled then
+    stats.Stats.instrs <- stats.Stats.instrs + steps;
+  if vm.fuel >= 0 then vm.fuel <- vm.fuel - steps
+
+(* The guarded-primitive fast path's two counters. *)
+let[@inline] prim_fast_stats (vm : t) =
+  let stats = vm.stats in
+  if stats.Stats.enabled then begin
+    stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+    stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+  end
+
+(* The fuel check, engine semantics: sync with the *current* pc (the
+   instruction about to execute) so a resumed machine re-runs it. *)
+let fuel_stop (vm : t) steps pc acc =
+  sync vm steps pc acc;
+  raise Vm_fuel_exhausted
+
+let dummy_step : step = fun _ _ _ _ _ _ _ -> assert false
+
+(* Template-time description of a fused push's source, so one emitter
+   covers the [Const_push]/[Local_push] combinations; the match in
+   [load] is on an immutable captured value and predicts perfectly. *)
+type src = S_local of int | S_const of value
+
+let[@inline] load slots fp = function
+  | S_local i -> slots.(fp + i)
+  | S_const v -> v
+
+(* Monomorphic inline cache for [Call]/[Tail_call] steps: when a site
+   keeps calling the same code object, the cached tuple carries the
+   callee's post-[Enter] entry step and frame extent, so the transfer
+   fuses the call with the callee's prologue — the arity check is paid
+   once at cache fill, and the counter flush defers into the callee's
+   first sync point, exactly like the engine's in-landing transfer.
+   The cache is one ref holding an immutable tuple: a racing domain
+   (the shared wind-resume templates cross domains) reads either the
+   old tuple or the new one, never a torn mix; stale just means a
+   recompute through the generic path.  The sentinel code compares
+   physically equal to no real callee. *)
+let cache_sentinel =
+  {
+    instrs = [||];
+    cname = "<call-cache>";
+    arity = At_least 0;
+    frame_words = max_int;
+    timer_ret = Void;
+    templ = No_template;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Template compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the step array for [code] in reverse pc order, so the
+   fall-through continuation of a straight-line instruction is captured
+   as a direct closure reference.  Branch targets are resolved through
+   the array at run time (they may point backwards); every pc gets a
+   step regardless of fusion, because any synced pc can become a landing
+   entry (deopt returns, error-handler resumes, timer fires). *)
+let rec template stats code =
+  match code.templ with Template arr -> arr | _ -> compile stats code
+
+and compile stats (code : code) : step array =
+  let instrs = code.instrs in
+  let n = Array.length instrs in
+  let arr = Array.make n dummy_step in
+  for pc = n - 1 downto 0 do
+    arr.(pc) <- emit arr instrs code pc
+  done;
+  code.templ <- Template arr;
+  if stats.Stats.enabled then begin
+    stats.Stats.tmpl_codes <- stats.Stats.tmpl_codes + 1;
+    stats.Stats.tmpl_steps <- stats.Stats.tmpl_steps + n
+  end;
+  arr
+
+and emit arr instrs (code : code) pc : step =
+  match Array.unsafe_get instrs pc with
+  | Const v -> (
+      match Array.unsafe_get instrs (pc + 1) with
+      | Return ->
+          (* Epilogue fusion: load the result and return in one step (the
+             common [(lambda ... c)] tail).  The fuel check covers both
+             instructions, stopping at the load's pc. *)
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else do_return_fast vm slots fp limit budget v (steps + 2) (pc + 2)
+      | _ ->
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget _acc steps ->
+            k vm slots fp limit budget v (steps + 1))
+  | Local_ref i -> (
+      match Array.unsafe_get instrs (pc + 1) with
+      | Return ->
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else
+              do_return_fast vm slots fp limit budget
+                slots.(fp + i)
+                (steps + 2) (pc + 2)
+      | _ ->
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget _acc steps ->
+            k vm slots fp limit budget slots.(fp + i) (steps + 1))
+  | Local_set i ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        slots.(fp + i) <- acc;
+        k vm slots fp limit budget acc (steps + 1)
+  | Box_init i ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        slots.(fp + i) <- Box (ref slots.(fp + i));
+        let stats = vm.stats in
+        if stats.Stats.enabled then
+          stats.Stats.boxes_made <- stats.Stats.boxes_made + 1;
+        k vm slots fp limit budget acc (steps + 1)
+  | Box_ref i -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + i) with
+        | Box r -> k vm slots fp limit budget !r (steps + 1)
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: box-ref of non-box" [ v ])
+  | Box_set i -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + i) with
+        | Box r ->
+            r := acc;
+            k vm slots fp limit budget acc (steps + 1)
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: box-set of non-box" [ v ])
+  | Free_ref i -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + 1) with
+        | Closure c -> k vm slots fp limit budget c.frees.(i) (steps + 1)
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: free-ref outside closure" [ v ])
+  | Free_box_ref i -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + 1) with
+        | Closure c -> (
+            match c.frees.(i) with
+            | Box r -> k vm slots fp limit budget !r (steps + 1)
+            | v ->
+                sync vm (steps + 1) (pc + 1) acc;
+                Values.err "vm: free-box-ref of non-box" [ v ])
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: free-box-ref outside closure" [ v ])
+  | Free_box_set i -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + 1) with
+        | Closure c -> (
+            match c.frees.(i) with
+            | Box r ->
+                r := acc;
+                k vm slots fp limit budget acc (steps + 1)
+            | v ->
+                sync vm (steps + 1) (pc + 1) acc;
+                Values.err "vm: free-box-set of non-box" [ v ])
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: free-box-set outside closure" [ v ])
+  | Global_ref g ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if g.gdefined then k vm slots fp limit budget g.gval (steps + 1)
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err ("unbound variable: " ^ g.gname) []
+        end
+  | Global_set g ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if g.gdefined then begin
+          g.gval <- acc;
+          k vm slots fp limit budget acc (steps + 1)
+        end
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          Values.err ("set! of unbound variable: " ^ g.gname) []
+        end
+  | Global_define g ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        g.gval <- acc;
+        g.gdefined <- true;
+        k vm slots fp limit budget acc (steps + 1)
+  | Make_closure (c, caps) ->
+      let k = arr.(pc + 1) in
+      let ncaps = Array.length caps in
+      fun vm slots fp limit budget acc steps ->
+        let frees = if ncaps = 0 then [||] else Array.make ncaps Void in
+        for i = 0 to ncaps - 1 do
+          frees.(i) <-
+            (match Array.unsafe_get caps i with
+            | Cap_local j -> slots.(fp + j)
+            | Cap_free j -> (
+                match slots.(fp + 1) with
+                | Closure cl -> cl.frees.(j)
+                | v ->
+                    sync vm (steps + 1) (pc + 1) acc;
+                    Values.err "vm: capture outside closure" [ v ]))
+        done;
+        let stats = vm.stats in
+        if stats.Stats.enabled then
+          stats.Stats.closures_made <- stats.Stats.closures_made + 1;
+        k vm slots fp limit budget (Closure { code = c; frees }) (steps + 1)
+  | Branch t ->
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else (Array.unsafe_get arr t) vm slots fp limit budget acc (steps + 1)
+  | Branch_false t -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else
+          match acc with
+          | Bool false ->
+              (Array.unsafe_get arr t) vm slots fp limit budget acc (steps + 1)
+          | _ -> k vm slots fp limit budget acc (steps + 1))
+  | Call site -> (
+      let k = arr.(pc + 1) in
+      let disp = site.cs_disp and cs_nargs = site.cs_nargs in
+      let cache = ref (cache_sentinel, dummy_step, max_int) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else
+          let nfp = fp + disp in
+          match slots.(nfp + 1) with
+          | Closure c ->
+              let ccode, centry, cfw = !cache in
+              if c.code == ccode then begin
+                (* Monomorphic hit: the call and the callee's [Enter]
+                   fuse into one transfer (arity was checked at cache
+                   fill), and the batch carries into the callee — no
+                   flush, exactly the engine's in-landing transfer. *)
+                slots.(nfp) <- site.cs_ret;
+                vm.code <- ccode;
+                vm.nargs <- cs_nargs;
+                vm.pol.Control.fp <- nfp;
+                let stats = vm.stats in
+                if stats.Stats.enabled then begin
+                  stats.Stats.frames <- stats.Stats.frames + 1;
+                  stats.Stats.calls <- stats.Stats.calls + 1
+                end;
+                if nfp + cfw <= limit then begin
+                  let t = vm.timer in
+                  if t > 0 then
+                    if t = 1 then begin
+                      vm.timer <- -1;
+                      sync vm (steps + 2) 1 acc;
+                      Vm_policy.fire_timer vm;
+                      relaunch vm
+                    end
+                    else begin
+                      vm.timer <- t - 1;
+                      centry vm slots nfp limit budget acc (steps + 2)
+                    end
+                  else centry vm slots nfp limit budget acc (steps + 2)
+                end
+                else begin
+                  (* Overflow: the callee prologue's slow path, with the
+                     machine in exactly the state the engine would have
+                     at its [Enter]. *)
+                  sync vm (steps + 2) 1 acc;
+                  Vm_policy.enter vm;
+                  relaunch vm
+                end
+              end
+              else begin
+                (* Same-segment call, generic: write the interned return
+                   address, flush, and jump into the callee's template.
+                   [vm.pc] stays stale, exactly as in the engine loop. *)
+                slots.(nfp) <- site.cs_ret;
+                vm.code <- c.code;
+                vm.nargs <- cs_nargs;
+                vm.pol.Control.fp <- nfp;
+                let stats = vm.stats in
+                if stats.Stats.enabled then begin
+                  stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+                  stats.Stats.frames <- stats.Stats.frames + 1;
+                  stats.Stats.calls <- stats.Stats.calls + 1
+                end;
+                if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+                let carr =
+                  match c.code.templ with
+                  | Template a -> a
+                  | _ -> compile vm.stats c.code
+                in
+                (match c.code.arity with
+                | Exactly a when a = cs_nargs && Array.length carr > 1 -> (
+                    match c.code.instrs.(0) with
+                    | Enter ->
+                        cache := (c.code, carr.(1), c.code.frame_words)
+                    | _ -> ())
+                | _ -> ());
+                carr.(0) vm slots nfp limit (budget - (steps + 1)) acc 0
+              end
+          | Prim { pfn = Pure fn; parity; pname } ->
+              sync vm (steps + 1) (pc + 1) acc;
+              if not (Bytecode.arity_matches parity cs_nargs) then
+                Values.err (pname ^ ": wrong number of arguments") [];
+              let stats = vm.stats in
+              if stats.Stats.enabled then
+                stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+              let v = fn (prim_args vm slots (nfp + 2) cs_nargs) in
+              k vm slots fp limit (budget - (steps + 1)) v 0
+          | f ->
+              sync vm (steps + 1) (pc + 1) acc;
+              let stats = vm.stats in
+              if stats.Stats.enabled then
+                stats.Stats.frames <- stats.Stats.frames + 1;
+              Vm_policy.call vm site f;
+              relaunch vm)
+  | Tail_call { disp; nargs } -> (
+      let cache = ref (cache_sentinel, dummy_step, max_int) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else
+          let src = fp + disp in
+          let f = slots.(src + 1) in
+          match f with
+          | Closure c ->
+              let ccode, centry, cfw = !cache in
+              if c.code == ccode then begin
+                slots.(fp + 1) <- f;
+                blit_args slots (src + 2) (fp + 2) nargs;
+                vm.code <- ccode;
+                vm.nargs <- nargs;
+                let stats = vm.stats in
+                if stats.Stats.enabled then
+                  stats.Stats.calls <- stats.Stats.calls + 1;
+                if fp + cfw <= limit then begin
+                  let t = vm.timer in
+                  if t > 0 then
+                    if t = 1 then begin
+                      vm.timer <- -1;
+                      sync vm (steps + 2) 1 acc;
+                      Vm_policy.fire_timer vm;
+                      relaunch vm
+                    end
+                    else begin
+                      vm.timer <- t - 1;
+                      centry vm slots fp limit budget acc (steps + 2)
+                    end
+                  else centry vm slots fp limit budget acc (steps + 2)
+                end
+                else begin
+                  sync vm (steps + 2) 1 acc;
+                  Vm_policy.enter vm;
+                  relaunch vm
+                end
+              end
+              else begin
+                slots.(fp + 1) <- f;
+                blit_args slots (src + 2) (fp + 2) nargs;
+                vm.code <- c.code;
+                vm.nargs <- nargs;
+                let stats = vm.stats in
+                if stats.Stats.enabled then begin
+                  stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+                  stats.Stats.calls <- stats.Stats.calls + 1
+                end;
+                if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+                let carr =
+                  match c.code.templ with
+                  | Template a -> a
+                  | _ -> compile vm.stats c.code
+                in
+                (match c.code.arity with
+                | Exactly a when a = nargs && Array.length carr > 1 -> (
+                    match c.code.instrs.(0) with
+                    | Enter ->
+                        cache := (c.code, carr.(1), c.code.frame_words)
+                    | _ -> ())
+                | _ -> ());
+                carr.(0) vm slots fp limit (budget - (steps + 1)) acc 0
+              end
+          | _ ->
+              sync vm (steps + 1) (pc + 1) acc;
+              Vm_policy.tail_call vm ~disp ~nargs f;
+              relaunch vm)
+  | Return -> (
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else
+          match slots.(fp) with
+          | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+              (* Same-segment return: the batch carries into the caller's
+                 continuation, no flush — the engine's in-landing
+                 transfer. *)
+              let nfp = fp - r.rdisp in
+              vm.code <- r.rcode;
+              vm.pol.Control.fp <- nfp;
+              let rarr =
+                match r.rcode.templ with
+                | Template a -> a
+                | _ -> compile vm.stats r.rcode
+              in
+              let stats = vm.stats in
+              if stats.Stats.enabled then
+                stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+              if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+              rarr.(r.rpc) vm slots nfp limit (budget - (steps + 1)) acc 0
+          | _ ->
+              sync vm (steps + 1) (pc + 1) acc;
+              Vm_policy.do_return vm;
+              relaunch vm)
+  | Enter -> (
+      (* [Enter] belongs to a known code object, so its arity and frame
+         extent are template-time constants: the Exactly-arity fast path
+         compiles to two compares with no arity match at run time. *)
+      match code.arity with
+      | Exactly karity ->
+          let fw = code.frame_words in
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else if vm.nargs = karity && fp + fw <= limit then begin
+              let t = vm.timer in
+              if t > 0 then
+                if t = 1 then begin
+                  vm.timer <- -1;
+                  sync vm (steps + 1) (pc + 1) acc;
+                  Vm_policy.fire_timer vm;
+                  relaunch vm
+                end
+                else begin
+                  vm.timer <- t - 1;
+                  k vm slots fp limit budget acc (steps + 1)
+                end
+              else k vm slots fp limit budget acc (steps + 1)
+            end
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              Vm_policy.enter vm;
+              relaunch vm
+            end
+      | At_least _ ->
+          fun vm _slots _fp _limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              Vm_policy.enter vm;
+              relaunch vm
+            end)
+  | Halt ->
+      fun vm _slots _fp _limit _budget acc steps ->
+        sync vm (steps + 1) (pc + 1) acc;
+        vm.halted <- true
+  (* ---- fused superinstructions (emitted by Optimize.peephole) ----
+     The push forms additionally fuse here (see [emit_push]): adjacent
+     pushes pair up, and a push run that feeds an inline-cached
+     primitive folds into the primitive's step.  [steps] advances by
+     the number of fused instructions, so accounting is unchanged, and
+     every skipped instruction's own step still exists at its pc —
+     fusion only skips dispatch to it on the straight-line path. *)
+  | Const_push (v, i) -> emit_push arr instrs pc (S_const v) i
+  | Local_push (s, i) -> emit_push arr instrs pc (S_local s) i
+  | Free_push (i, j) -> (
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        match slots.(fp + 1) with
+        | Closure c ->
+            slots.(fp + j) <- c.frees.(i);
+            k vm slots fp limit budget acc (steps + 1)
+        | v ->
+            sync vm (steps + 1) (pc + 1) acc;
+            Values.err "vm: free-push outside closure" [ v ])
+  | Global_push (g, i) -> (
+      (* Call setup usually pushes the callee global then its arguments:
+         fuse the first argument push in.  The unbound-global error syncs
+         only the first instruction, exactly as unfused execution
+         would. *)
+      match Array.unsafe_get instrs (pc + 1) with
+      | Const_push (v2, i2) ->
+          let k = arr.(pc + 2) in
+          fun vm slots fp limit budget acc steps ->
+            if g.gdefined then begin
+              slots.(fp + i) <- g.gval;
+              slots.(fp + i2) <- v2;
+              k vm slots fp limit budget acc (steps + 2)
+            end
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              Values.err ("unbound variable: " ^ g.gname) []
+            end
+      | Local_push (s2, i2) ->
+          let k = arr.(pc + 2) in
+          fun vm slots fp limit budget acc steps ->
+            if g.gdefined then begin
+              slots.(fp + i) <- g.gval;
+              slots.(fp + i2) <- slots.(fp + s2);
+              k vm slots fp limit budget acc (steps + 2)
+            end
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              Values.err ("unbound variable: " ^ g.gname) []
+            end
+      | _ ->
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget acc steps ->
+            if g.gdefined then begin
+              slots.(fp + i) <- g.gval;
+              k vm slots fp limit budget acc (steps + 1)
+            end
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              Values.err ("unbound variable: " ^ g.gname) []
+            end)
+  | Prim_call site ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            let stats = vm.stats in
+            if stats.Stats.enabled then begin
+              stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+              stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+            end;
+            let v =
+              site.ps_fn
+                (prim_args vm slots (fp + site.ps_disp + 2) site.ps_nargs)
+            in
+            k vm slots fp limit (budget - (steps + 1)) v 0
+          end
+          else begin
+            Vm_policy.prim_deopt_call vm site;
+            relaunch vm
+          end
+        end
+  (* The fixed-arity prim steps absorb a trailing [Local_set] of the
+     result; the sync point stays at [pc + 1], so error-handler resumes
+     re-execute the set on the handler's value, as unfused code would. *)
+  | Prim_call1 site -> (
+      let argd = site.ps_disp + 2 in
+      match Array.unsafe_get instrs (pc + 1) with
+      | Local_set j ->
+          let k = arr.(pc + 2) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(1) in
+                args.(0) <- slots.(fp + argd);
+                let v = site.ps_fn args in
+                slots.(fp + j) <- v;
+                k vm slots fp limit (budget - (steps + 1)) v 1
+              end
+              else begin
+                Vm_policy.prim_deopt_call vm site;
+                relaunch vm
+              end
+            end
+      | _ ->
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(1) in
+                args.(0) <- slots.(fp + argd);
+                let v = site.ps_fn args in
+                k vm slots fp limit (budget - (steps + 1)) v 0
+              end
+              else begin
+                Vm_policy.prim_deopt_call vm site;
+                relaunch vm
+              end
+            end)
+  | Prim_call2 site -> (
+      let argd = site.ps_disp + 2 in
+      match Array.unsafe_get instrs (pc + 1) with
+      | Local_set j ->
+          let k = arr.(pc + 2) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(2) in
+                let base = fp + argd in
+                args.(0) <- slots.(base);
+                args.(1) <- slots.(base + 1);
+                let v = site.ps_fn args in
+                slots.(fp + j) <- v;
+                k vm slots fp limit (budget - (steps + 1)) v 1
+              end
+              else begin
+                Vm_policy.prim_deopt_call vm site;
+                relaunch vm
+              end
+            end
+      | _ ->
+          let k = arr.(pc + 1) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 1) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(2) in
+                let base = fp + argd in
+                args.(0) <- slots.(base);
+                args.(1) <- slots.(base + 1);
+                let v = site.ps_fn args in
+                k vm slots fp limit (budget - (steps + 1)) v 0
+              end
+              else begin
+                Vm_policy.prim_deopt_call vm site;
+                relaunch vm
+              end
+            end)
+  | Local_branch_false (i, t) -> (
+      (* The retained [Branch_false] sits at [pc + 1]; fall through lands
+         past it, exactly as in the engine loop. *)
+      let k = arr.(pc + 2) in
+      fun vm slots fp limit budget _acc steps ->
+        if steps >= budget then fuel_stop vm steps pc _acc
+        else
+          let v = slots.(fp + i) in
+          match v with
+          | Bool false ->
+              (Array.unsafe_get arr t) vm slots fp limit budget v (steps + 1)
+          | _ -> k vm slots fp limit budget v (steps + 1))
+  | Prim_branch1 (site, t) ->
+      let k = arr.(pc + 2) in
+      let argd = site.ps_disp + 2 in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            let stats = vm.stats in
+            if stats.Stats.enabled then begin
+              stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+              stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+            end;
+            let args = vm.scratch.(1) in
+            args.(0) <- slots.(fp + argd);
+            let v = site.ps_fn args in
+            match v with
+            | Bool false ->
+                (Array.unsafe_get arr t) vm slots fp limit (budget - (steps + 1)) v 0
+            | _ -> k vm slots fp limit (budget - (steps + 1)) v 0
+          end
+          else begin
+            (* The interned [ps_ret] resumes at the retained
+               [Branch_false] at [pc + 1]. *)
+            Vm_policy.prim_deopt_call vm site;
+            relaunch vm
+          end
+        end
+  | Prim_branch2 (site, t) ->
+      let k = arr.(pc + 2) in
+      let argd = site.ps_disp + 2 in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            let stats = vm.stats in
+            if stats.Stats.enabled then begin
+              stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+              stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+            end;
+            let args = vm.scratch.(2) in
+            let base = fp + argd in
+            args.(0) <- slots.(base);
+            args.(1) <- slots.(base + 1);
+            let v = site.ps_fn args in
+            match v with
+            | Bool false ->
+                (Array.unsafe_get arr t) vm slots fp limit (budget - (steps + 1)) v 0
+            | _ -> k vm slots fp limit (budget - (steps + 1)) v 0
+          end
+          else begin
+            Vm_policy.prim_deopt_call vm site;
+            relaunch vm
+          end
+        end
+  | Prim_tail_call site -> (
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 1) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            let stats = vm.stats in
+            if stats.Stats.enabled then begin
+              stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+              stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+            end;
+            let v =
+              site.ps_fn
+                (prim_args vm slots (fp + site.ps_disp + 2) site.ps_nargs)
+            in
+            match slots.(fp) with
+            | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+                (* Counters already flushed by [sync] above. *)
+                let nfp = fp - r.rdisp in
+                vm.code <- r.rcode;
+                vm.pol.Control.fp <- nfp;
+                let rarr =
+                  match r.rcode.templ with
+                  | Template a -> a
+                  | _ -> compile vm.stats r.rcode
+                in
+                rarr.(r.rpc) vm slots nfp limit (budget - (steps + 1)) v 0
+            | _ ->
+                vm.acc <- v;
+                Vm_policy.do_return vm;
+                relaunch vm
+          end
+          else begin
+            Vm_policy.prim_deopt_tail_call vm site;
+            relaunch vm
+          end
+        end)
+
+(* A [Const_push]/[Local_push] step.  Beyond plain pair fusion, a push
+   run that exactly stages the arguments of a following inline-cached
+   primitive fuses into the primitive's step, which reads the sources
+   directly instead of going through the frame slots.  The deopt and
+   guard-failure paths materialize the staged slots first, so
+   {!Vm_policy} sees exactly the frame the unfused sequence would have
+   built.  The [s2 <> d1] guards keep the fusion off when the second
+   push reads the first one's destination — there the unfused sequence
+   observes the staged write, so the run must stay staged. *)
+and emit_push arr instrs pc src1 d1 : step =
+  match Array.unsafe_get instrs (pc + 1) with
+  | Const_push (v2, d2) -> emit_push2 arr instrs pc src1 d1 (S_const v2) d2
+  | Local_push (s2, d2) when s2 <> d1 ->
+      emit_push2 arr instrs pc src1 d1 (S_local s2) d2
+  | Prim_call1 site when site.ps_disp + 2 = d1 ->
+      emit_prim1 arr instrs pc src1 d1 site
+  | Prim_branch1 (site, t) when site.ps_disp + 2 = d1 ->
+      emit_prim_branch1 arr pc src1 d1 site t
+  | Prim_tail_call site when site.ps_nargs = 1 && site.ps_disp + 2 = d1 ->
+      emit_prim_tail1 pc src1 d1 site
+  | _ ->
+      let k = arr.(pc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        slots.(fp + d1) <- load slots fp src1;
+        k vm slots fp limit budget acc (steps + 1)
+
+and emit_push2 arr instrs pc src1 d1 src2 d2 : step =
+  match Array.unsafe_get instrs (pc + 2) with
+  | Prim_call2 site when site.ps_disp + 2 = d1 && site.ps_disp + 3 = d2 ->
+      emit_prim2 arr instrs pc src1 d1 src2 d2 site
+  | Prim_branch2 (site, t)
+    when site.ps_disp + 2 = d1 && site.ps_disp + 3 = d2 ->
+      emit_prim_branch2 arr pc src1 d1 src2 d2 site t
+  | Prim_tail_call site
+    when site.ps_nargs = 2 && site.ps_disp + 2 = d1 && site.ps_disp + 3 = d2
+    ->
+      emit_prim_tail2 pc src1 d1 src2 d2 site
+  | _ ->
+      let k = arr.(pc + 2) in
+      fun vm slots fp limit budget acc steps ->
+        slots.(fp + d1) <- load slots fp src1;
+        slots.(fp + d2) <- load slots fp src2;
+        k vm slots fp limit budget acc (steps + 2)
+
+(* Push + [Prim_call1], optionally absorbing a trailing [Local_set] of
+   the result ([steps] restarts at 1 past the sync so the set is
+   counted in the next flush). *)
+and emit_prim1 arr instrs pc src1 d1 site : step =
+  let ppc = pc + 1 in
+  match Array.unsafe_get instrs (ppc + 1) with
+  | Local_set j ->
+      let k = arr.(ppc + 2) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else if site.ps_global.gval == site.ps_guard then begin
+          sync vm (steps + 2) (ppc + 1) acc;
+          prim_fast_stats vm;
+          let args = vm.scratch.(1) in
+          args.(0) <- load slots fp src1;
+          let v = site.ps_fn args in
+          slots.(fp + j) <- v;
+          k vm slots fp limit (budget - (steps + 2)) v 1
+        end
+        else prim_deopt1 vm slots fp src1 d1 site (steps + 2) (ppc + 1) acc
+  | _ ->
+      let k = arr.(ppc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else if site.ps_global.gval == site.ps_guard then begin
+          sync vm (steps + 2) (ppc + 1) acc;
+          prim_fast_stats vm;
+          let args = vm.scratch.(1) in
+          args.(0) <- load slots fp src1;
+          let v = site.ps_fn args in
+          k vm slots fp limit (budget - (steps + 2)) v 0
+        end
+        else prim_deopt1 vm slots fp src1 d1 site (steps + 2) (ppc + 1) acc
+
+and emit_prim2 arr instrs pc src1 d1 src2 d2 site : step =
+  let ppc = pc + 2 in
+  match Array.unsafe_get instrs (ppc + 1) with
+  | Local_set j ->
+      let k = arr.(ppc + 2) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else if site.ps_global.gval == site.ps_guard then begin
+          sync vm (steps + 3) (ppc + 1) acc;
+          prim_fast_stats vm;
+          let args = vm.scratch.(2) in
+          args.(0) <- load slots fp src1;
+          args.(1) <- load slots fp src2;
+          let v = site.ps_fn args in
+          slots.(fp + j) <- v;
+          k vm slots fp limit (budget - (steps + 3)) v 1
+        end
+        else prim_deopt2 vm slots fp src1 d1 src2 d2 site (steps + 3) (ppc + 1) acc
+  | _ ->
+      let k = arr.(ppc + 1) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else if site.ps_global.gval == site.ps_guard then begin
+          sync vm (steps + 3) (ppc + 1) acc;
+          prim_fast_stats vm;
+          let args = vm.scratch.(2) in
+          args.(0) <- load slots fp src1;
+          args.(1) <- load slots fp src2;
+          let v = site.ps_fn args in
+          k vm slots fp limit (budget - (steps + 3)) v 0
+        end
+        else prim_deopt2 vm slots fp src1 d1 src2 d2 site (steps + 3) (ppc + 1) acc
+
+and emit_prim_branch1 arr pc src1 d1 site t : step =
+  let ppc = pc + 1 in
+  let k = arr.(ppc + 2) in
+  fun vm slots fp limit budget acc steps ->
+    if steps >= budget then fuel_stop vm steps pc acc
+    else if site.ps_global.gval == site.ps_guard then begin
+      sync vm (steps + 2) (ppc + 1) acc;
+      prim_fast_stats vm;
+      let args = vm.scratch.(1) in
+      args.(0) <- load slots fp src1;
+      match site.ps_fn args with
+      | Bool false ->
+          (Array.unsafe_get arr t) vm slots fp limit
+            (budget - (steps + 2))
+            (Bool false) 0
+      | v -> k vm slots fp limit (budget - (steps + 2)) v 0
+    end
+    else prim_deopt1 vm slots fp src1 d1 site (steps + 2) (ppc + 1) acc
+
+and emit_prim_branch2 arr pc src1 d1 src2 d2 site t : step =
+  let ppc = pc + 2 in
+  let k = arr.(ppc + 2) in
+  fun vm slots fp limit budget acc steps ->
+    if steps >= budget then fuel_stop vm steps pc acc
+    else if site.ps_global.gval == site.ps_guard then begin
+      sync vm (steps + 3) (ppc + 1) acc;
+      prim_fast_stats vm;
+      let args = vm.scratch.(2) in
+      args.(0) <- load slots fp src1;
+      args.(1) <- load slots fp src2;
+      match site.ps_fn args with
+      | Bool false ->
+          (Array.unsafe_get arr t) vm slots fp limit
+            (budget - (steps + 3))
+            (Bool false) 0
+      | v -> k vm slots fp limit (budget - (steps + 3)) v 0
+    end
+    else prim_deopt2 vm slots fp src1 d1 src2 d2 site (steps + 3) (ppc + 1) acc
+
+and emit_prim_tail1 pc src1 d1 site : step =
+  let ppc = pc + 1 in
+  fun vm slots fp limit budget acc steps ->
+    if steps >= budget then fuel_stop vm steps pc acc
+    else if site.ps_global.gval == site.ps_guard then begin
+      sync vm (steps + 2) (ppc + 1) acc;
+      prim_fast_stats vm;
+      let args = vm.scratch.(1) in
+      args.(0) <- load slots fp src1;
+      let v = site.ps_fn args in
+      do_return_fast vm slots fp limit (budget - (steps + 2)) v 0 (ppc + 1)
+    end
+    else begin
+      slots.(fp + d1) <- load slots fp src1;
+      sync vm (steps + 2) (ppc + 1) acc;
+      Vm_policy.prim_deopt_tail_call vm site;
+      relaunch vm
+    end
+
+and emit_prim_tail2 pc src1 d1 src2 d2 site : step =
+  let ppc = pc + 2 in
+  fun vm slots fp limit budget acc steps ->
+    if steps >= budget then fuel_stop vm steps pc acc
+    else if site.ps_global.gval == site.ps_guard then begin
+      sync vm (steps + 3) (ppc + 1) acc;
+      prim_fast_stats vm;
+      let args = vm.scratch.(2) in
+      args.(0) <- load slots fp src1;
+      args.(1) <- load slots fp src2;
+      let v = site.ps_fn args in
+      do_return_fast vm slots fp limit (budget - (steps + 3)) v 0 (ppc + 1)
+    end
+    else begin
+      slots.(fp + d1) <- load slots fp src1;
+      slots.(fp + d2) <- load slots fp src2;
+      sync vm (steps + 3) (ppc + 1) acc;
+      Vm_policy.prim_deopt_tail_call vm site;
+      relaunch vm
+    end
+
+(* Guard failure of a push-fused primitive: stage the argument slots
+   the unfused pushes would have written, then deoptimize exactly as
+   the standalone prim step does. *)
+and prim_deopt1 (vm : t) slots fp src1 d1 site steps resume_pc acc =
+  slots.(fp + d1) <- load slots fp src1;
+  sync vm steps resume_pc acc;
+  Vm_policy.prim_deopt_call vm site;
+  relaunch vm
+
+and prim_deopt2 (vm : t) slots fp src1 d1 src2 d2 site steps resume_pc acc =
+  slots.(fp + d1) <- load slots fp src1;
+  slots.(fp + d2) <- load slots fp src2;
+  sync vm steps resume_pc acc;
+  Vm_policy.prim_deopt_call vm site;
+  relaunch vm
+
+(* The shared tail of a fused return step: [steps] is the total count
+   including every fused instruction (the batch carries into the caller
+   on the fast path, unflushed), [next_pc] the pc past the [Return]
+   (the sync point the slow path must land on). *)
+and do_return_fast (vm : t) slots fp limit budget acc steps next_pc =
+  match slots.(fp) with
+  | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+      let nfp = fp - r.rdisp in
+      vm.code <- r.rcode;
+      vm.pol.Control.fp <- nfp;
+      let rarr =
+        match r.rcode.templ with
+        | Template a -> a
+        | _ -> compile vm.stats r.rcode
+      in
+      rarr.(r.rpc) vm slots nfp limit budget acc steps
+  | _ ->
+      sync vm steps next_pc acc;
+      Vm_policy.do_return vm;
+      relaunch vm
+
+(* Re-establish the landing state from [vm] after a slow-path control
+   transfer and continue in compiled steps (or stop, when the transfer
+   halted the machine).  The entry-pc bounds check mirrors the engine's
+   [relaunch]; [tmpl_enters] counts these re-entries — the closure
+   backend's analogue of the engine's landings-per-transfer. *)
+and relaunch (vm : t) =
+  if not vm.halted then begin
+    let code = vm.code in
+    let arr =
+      match code.templ with Template a -> a | _ -> compile vm.stats code
+    in
+    let pc = vm.pc in
+    if pc < 0 || pc >= Array.length arr then
+      Values.err "vm: corrupt return address (pc out of range)" [];
+    let stats = vm.stats in
+    if stats.Stats.enabled then
+      stats.Stats.tmpl_enters <- stats.Stats.tmpl_enters + 1;
+    (Array.unsafe_get arr pc) vm (Vm_policy.slots vm) (Vm_policy.frame_base vm)
+      (Control.seg_limit vm.pol)
+      (if vm.fuel < 0 then max_int else vm.fuel)
+      vm.acc 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver: identical protocol to the engine loop                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_loop (vm : t) =
+  match relaunch vm with
+  | () -> ()
+  | exception (Scheme_error (msg, irritants) as exn) -> (
+      match Engine.pop_error_handler vm with
+      | Some h ->
+          Vm_policy.inject_error_handler vm h msg irritants;
+          run_loop vm
+      | None -> raise exn)
+
+let run ?(fuel = -1) (vm : t) code =
+  Vm_policy.init_run vm code;
+  vm.code <- code;
+  vm.pc <- 0;
+  vm.nargs <- 0;
+  vm.acc <- Void;
+  vm.halted <- false;
+  vm.fuel <- fuel;
+  vm.winders <- [];
+  run_loop vm;
+  vm.acc
+
+let run_program ?fuel (vm : t) codes =
+  List.fold_left (fun _ code -> run ?fuel vm code) Void codes
+
+(* Compile first, then run: the whole [Make_closure] DAG of every
+   top-level form is template-compiled before execution starts, so the
+   measured run performs no compilation (runtime-generated code — [eval]
+   the Scheme special — still compiles on demand in [relaunch]). *)
+let eval ?fuel ?optimize ?peephole (vm : t) src =
+  let codes =
+    Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun c' -> ignore (template vm.stats c'))
+        (Bytecode.collect_codes [] c))
+    codes;
+  run_program ?fuel vm codes
+
+let create = Vm_policy.create
+let control (vm : t) = vm.Engine.pol
+let stats = Engine.stats
+let globals = Engine.globals
+let output = Engine.output
+
+(* The code objects shared across machines (the halt code and the
+   dynamic-wind resume codes) are template-compiled here, at module
+   initialization: Scheme.Pool runs sessions on multiple domains, and
+   precompiling before any domain can spawn means their [templ] slots
+   are only ever read concurrently, never written.  Per-program code is
+   session-private, so no other cross-domain template write exists. *)
+let () =
+  let stats = Stats.create ~enabled:false () in
+  List.iter
+    (fun c -> ignore (template stats c))
+    [ Engine.halt_code; Prims.wind_resume_code; Prims.dw_resume_code ]

@@ -28,6 +28,9 @@ type t = {
   mutable heap_frames : int;
   mutable heap_frame_words : int;
   mutable cow_copies : int;
+  mutable tmpl_codes : int;
+  mutable tmpl_steps : int;
+  mutable tmpl_enters : int;
 }
 
 let create ?(enabled = true) () =
@@ -61,6 +64,9 @@ let create ?(enabled = true) () =
     heap_frames = 0;
     heap_frame_words = 0;
     cow_copies = 0;
+    tmpl_codes = 0;
+    tmpl_steps = 0;
+    tmpl_enters = 0;
   }
 
 (* [reset] clears the counters but leaves [enabled] alone. *)
@@ -92,7 +98,10 @@ let reset t =
   t.boxes_made <- 0;
   t.heap_frames <- 0;
   t.heap_frame_words <- 0;
-  t.cow_copies <- 0
+  t.cow_copies <- 0;
+  t.tmpl_codes <- 0;
+  t.tmpl_steps <- 0;
+  t.tmpl_enters <- 0
 
 let to_rows t =
   [
@@ -124,6 +133,9 @@ let to_rows t =
     ("heap-frames", t.heap_frames);
     ("heap-frame-words", t.heap_frame_words);
     ("cow-copies", t.cow_copies);
+    ("tmpl-codes", t.tmpl_codes);
+    ("tmpl-steps", t.tmpl_steps);
+    ("tmpl-enters", t.tmpl_enters);
   ]
 
 let names = List.map fst (to_rows (create ()))

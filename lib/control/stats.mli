@@ -50,6 +50,13 @@ type t = {
   mutable heap_frames : int;  (** heap VM: frames allocated *)
   mutable heap_frame_words : int;
   mutable cow_copies : int;  (** heap VM: copy-on-write frame copies *)
+  mutable tmpl_codes : int;
+      (** closure VM: code objects template-compiled in this session *)
+  mutable tmpl_steps : int;
+      (** closure VM: step closures emitted by template compilation *)
+  mutable tmpl_enters : int;
+      (** closure VM: template (re-)entries — one per landing, i.e. per
+          slow-path control transfer back into compiled steps *)
 }
 
 val create : ?enabled:bool -> unit -> t

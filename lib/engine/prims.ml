@@ -182,6 +182,7 @@ let dw_resume_code =
     arity = At_least 0;
     frame_words = 11;
     timer_ret = Void;
+    templ = No_template;
   }
 
 let dw_ret_before = Retaddr { rcode = dw_resume_code; rpc = 0; rdisp = 7 }
@@ -203,6 +204,7 @@ let wind_resume_code =
     arity = At_least 0;
     frame_words = 10;
     timer_ret = Void;
+    templ = No_template;
   }
 
 let wind_ret = Retaddr { rcode = wind_resume_code; rpc = 0; rdisp = 6 }

@@ -53,7 +53,10 @@ let backpatch code =
 
 let make_code ~name ~arity ~frame_words instrs =
   validate ~name instrs;
-  let code = { instrs; cname = name; arity; frame_words; timer_ret = Void } in
+  let code =
+    { instrs; cname = name; arity; frame_words; timer_ret = Void;
+      templ = No_template }
+  in
   backpatch code;
   code
 

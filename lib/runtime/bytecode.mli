@@ -30,3 +30,9 @@ val disassemble : Rt.code -> string
 
 val disassemble_deep : Rt.code -> string
 (** Listing of a code object and every code object it closes over. *)
+
+val collect_codes : Rt.code list -> Rt.code -> Rt.code list
+(** Accumulate every code object reachable from [code] through
+    [Make_closure] instructions (each at most once, by physical
+    identity) onto the accumulator.  Used by the disassembler and by the
+    closure backend's eager template compilation. *)

@@ -1,10 +1,12 @@
 type backend =
   | Stack of Control.config
+  | Closure of Control.config
   | Heap
   | Oracle
 
 type machine =
   | M_stack of Vm.t
+  | M_closure of Closurevm.t
   | M_heap of Heapvm.t
   | M_oracle of Oracle.t
 
@@ -20,6 +22,8 @@ let eval_machine ?fuel t src =
   match t.machine with
   | M_stack vm ->
       Vm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
+  | M_closure vm ->
+      Closurevm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
   | M_heap vm ->
       Heapvm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
   | M_oracle o -> Oracle.eval ?fuel o src
@@ -31,6 +35,7 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
   let machine =
     match backend with
     | Stack config -> M_stack (Vm.create ~config ~stats ())
+    | Closure config -> M_closure (Closurevm.create ~config ~stats ())
     | Heap -> M_heap (Heapvm.create ~stats ())
     | Oracle -> M_oracle (Oracle.create ~stats ())
   in
@@ -59,17 +64,22 @@ let load_corpus t =
 let output t =
   match t.machine with
   | M_stack vm -> Vm.output vm
+  | M_closure vm -> Closurevm.output vm
   | M_heap vm -> Heapvm.output vm
   | M_oracle o -> Oracle.output o
 
 let stats t = t.stats
 
 let control t =
-  match t.machine with M_stack vm -> Some (Vm.control vm) | _ -> None
+  match t.machine with
+  | M_stack vm -> Some (Vm.control vm)
+  | M_closure vm -> Some (Closurevm.control vm)
+  | _ -> None
 
 let globals t =
   match t.machine with
   | M_stack vm -> Vm.globals vm
+  | M_closure vm -> Closurevm.globals vm
   | M_heap vm -> Heapvm.globals vm
   | M_oracle o -> Oracle.globals o
 

@@ -10,6 +10,10 @@
 
 type backend =
   | Stack of Control.config  (** the paper's segmented-stack VM *)
+  | Closure of Control.config
+      (** the same segmented-stack machine driven by template-compiled
+          threaded code ({!Closurevm}): identical control semantics and
+          semantic counters, faster straight-line dispatch *)
   | Heap  (** heap-frame baseline VM *)
   | Oracle  (** CPS reference interpreter *)
 
@@ -51,7 +55,9 @@ val stats : t -> Stats.t
 val globals : t -> Globals.t
 
 val control : t -> Control.t option
-(** The segmented-stack machine underneath, when the backend is [Stack]. *)
+(** The segmented-stack machine underneath, when the backend is [Stack]
+    or [Closure] (both frame policies run on the same control
+    substrate). *)
 
 (** Run [N] fully independent sessions over the same program, optionally
     one per OCaml domain.  Shards share no mutable state (each has its

@@ -18,6 +18,9 @@ let counter_names =
     "captures-oneshot";
     "words-copied";
     "cache-class-hits";
+    "tmpl-codes";
+    "tmpl-steps";
+    "tmpl-enters";
   ]
 
 let tiny_config =
@@ -28,6 +31,9 @@ let configs =
     ("stack", Scheme.Stack Control.default_config, true);
     ("stack-nofuse", Scheme.Stack Control.default_config, false);
     ("stack-tiny", Scheme.Stack tiny_config, true);
+    ("closure", Scheme.Closure Control.default_config, true);
+    ("closure-nofuse", Scheme.Closure Control.default_config, false);
+    ("closure-tiny", Scheme.Closure tiny_config, true);
     ("heap", Scheme.Heap, true);
   ]
 
