@@ -26,11 +26,15 @@
    mode mismatch is a hard error (exit 2) because the numbers would not
    be comparable.
 
-   Experiments named "<e>.closure" or "<e>.closure-<op>" are the
-   template-compiled backend ({!Closurevm}) running the same workload as
-   "<e>.stack" / "<e>.<op>"; when the baseline has the stack-backend
-   counterpart, its wall clock against the current closure run is
-   printed as an explicit speedup line. *)
+   Experiments named "<e>.closure"/"<e>.closure-<op>" (the
+   template-compiled backend, {!Closurevm}) and "<e>.heap"/"<e>.heap-<op>"
+   (the heap-frame baseline) run the same workload as "<e>.stack" /
+   "<e>.<op>"; when the baseline has the stack-backend counterpart, its
+   wall clock against the current run is printed as an explicit speedup
+   line per backend.  A final summary block lists the per-experiment
+   instruction-count delta in percent for every experiment recording
+   "instrs" in both runs — the at-a-glance view of how a bytecode change
+   moved the corpus, independent of the tolerance gate. *)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (objects, strings, numbers) -- the harness       *)
@@ -315,32 +319,37 @@ let () =
             name
       | _ -> ())
     cur_exps;
-  (* Closure-backend speedup lines: pair each current "*.closure*"
+  (* Backend speedup lines: pair each current "*.closure*" / "*.heap*"
      experiment with the stack-backend key it shadows and report the
-     wall-clock ratio against the baseline. *)
-  let stack_counterpart name =
+     wall-clock ratio against the baseline, one line per backend. *)
+  let backend_counterpart name =
     match String.index_opt name '.' with
     | None -> None
     | Some dot ->
         let prefix = String.sub name 0 (dot + 1) in
         let rest = String.sub name (dot + 1) (String.length name - dot - 1) in
-        let closure_dash = "closure-" in
-        if rest = "closure" then Some (prefix ^ "stack")
-        else if
-          String.length rest > String.length closure_dash
-          && String.sub rest 0 (String.length closure_dash) = closure_dash
-        then
-          Some
-            (prefix
-            ^ String.sub rest
-                (String.length closure_dash)
-                (String.length rest - String.length closure_dash))
-        else None
+        let strip backend =
+          let dashed = backend ^ "-" in
+          if rest = backend then Some (prefix ^ "stack")
+          else if
+            String.length rest > String.length dashed
+            && String.sub rest 0 (String.length dashed) = dashed
+          then
+            Some
+              (prefix
+              ^ String.sub rest (String.length dashed)
+                  (String.length rest - String.length dashed))
+          else None
+        in
+        List.find_map
+          (fun backend ->
+            Option.map (fun base -> (backend, base)) (strip backend))
+          [ "closure"; "heap" ]
   in
   List.iter
     (fun (name, j) ->
-      match (j, stack_counterpart name) with
-      | Obj cm, Some base_name -> (
+      match (j, backend_counterpart name) with
+      | Obj cm, Some (backend, base_name) -> (
           match
             ( num cm "ms",
               match List.assoc_opt base_name base_exps with
@@ -349,12 +358,32 @@ let () =
           with
           | Some cur_ms, Some base_ms when cur_ms > 0. ->
               Printf.printf
-                "  closure backend: %s %.1f ms vs baseline %s %.1f ms = \
-                 %.2fx speedup\n"
-                name cur_ms base_name base_ms (base_ms /. cur_ms)
+                "  %s backend: %s %.1f ms vs baseline %s %.1f ms = %.2fx \
+                 speedup\n"
+                backend name cur_ms base_name base_ms (base_ms /. cur_ms)
           | _ -> ())
       | _ -> ())
     cur_exps;
+  (* Per-experiment instruction-count deltas, tolerance-independent. *)
+  let instr_rows =
+    List.filter_map
+      (fun (name, j) ->
+        match (j, List.assoc_opt name base_exps) with
+        | Obj cm, Some (Obj bm) -> (
+            match (num bm "instrs", num cm "instrs") with
+            | Some b, Some c -> Some (name, b, c)
+            | _ -> None)
+        | _ -> None)
+      cur_exps
+  in
+  if instr_rows <> [] then begin
+    Printf.printf "instruction counts (baseline -> current):\n";
+    List.iter
+      (fun (name, b, c) ->
+        Printf.printf "  %-28s %14.0f %14.0f %+8.1f%%\n" name b c
+          (delta_pct b c))
+      instr_rows
+  end;
   Printf.printf
     "%d deterministic counters checked: %d regression(s), %d improvement(s), \
      %d missing, %d warning(s), %d note(s)\n"

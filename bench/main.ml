@@ -192,6 +192,25 @@ let e2 ~full () =
   let freqs = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
   let total_cps = ref 0. and total_cc = ref 0. and total_1cc = ref 0. in
   let med_cps = ref 0. and med_cc = ref 0. and med_1cc = ref 0. in
+  (* Per-operator deterministic counters, accumulated across the whole
+     freq x threads sweep.  [time_ms]'s reset hook zeroes the session
+     counters before every iteration, so each measurement contributes
+     exactly one run's worth regardless of --iters, and the totals are
+     reproducible numbers compare.exe can gate at zero tolerance. *)
+  let st_cps = Stats.create ()
+  and st_cc = Stats.create ()
+  and st_1cc = Stats.create () in
+  let acc_into (dst : Stats.t) (src : Stats.t) =
+    dst.Stats.instrs <- dst.Stats.instrs + src.Stats.instrs;
+    dst.Stats.words_copied <- dst.Stats.words_copied + src.Stats.words_copied;
+    dst.Stats.seg_alloc_words <-
+      dst.Stats.seg_alloc_words + src.Stats.seg_alloc_words;
+    dst.Stats.cache_hits <- dst.Stats.cache_hits + src.Stats.cache_hits;
+    dst.Stats.captures_multi <-
+      dst.Stats.captures_multi + src.Stats.captures_multi;
+    dst.Stats.captures_oneshot <-
+      dst.Stats.captures_oneshot + src.Stats.captures_oneshot
+  in
   Printf.printf
     "  each thread computes (fib %d); times in ms (paper: DEC Alpha ms)\n"
     fib_n;
@@ -201,23 +220,26 @@ let e2 ~full () =
       Printf.printf "  %8s %12s %12s %12s\n" "freq" "cps" "call/cc" "call/1cc";
       List.iter
         (fun freq ->
-          let run_one src =
-            let s, _ = session () in
-            let _, ms, med = time_ms (fun () -> run s src) in
+          let run_one dst src =
+            let s, stats = session () in
+            let _, ms, med =
+              time_ms ~reset:(fun () -> Stats.reset stats) (fun () -> run s src)
+            in
+            acc_into dst stats;
             (ms, med)
           in
           let cps, cps_m =
-            run_one
+            run_one st_cps
               (Printf.sprintf "(run-cps-fib-threads %d %d %d)" nthreads fib_n
                  freq)
           in
           let cc, cc_m =
-            run_one
+            run_one st_cc
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/cc)" nthreads
                  fib_n freq)
           in
           let c1, c1_m =
-            run_one
+            run_one st_1cc
               (Printf.sprintf "(run-fib-threads %d %d %d %%call/1cc)" nthreads
                  fib_n freq)
           in
@@ -230,14 +252,19 @@ let e2 ~full () =
           Printf.printf "  %8d %12.1f %12.1f %12.1f\n" freq cps cc c1)
         freqs)
     thread_counts;
-  let e2_record name total med =
+  let e2_record name total med (st : Stats.t) =
     record name
       (("ms", J_float total)
-      :: (if !iters > 1 then [ ("ms_median", J_float med) ] else []))
+      :: ((if !iters > 1 then [ ("ms_median", J_float med) ] else [])
+         @ stat_metrics st
+         @ [
+             ( "captures",
+               J_int (st.Stats.captures_multi + st.Stats.captures_oneshot) );
+           ]))
   in
-  e2_record "e2.cps" !total_cps !med_cps;
-  e2_record "e2.callcc" !total_cc !med_cc;
-  e2_record "e2.call1cc" !total_1cc !med_1cc;
+  e2_record "e2.cps" !total_cps !med_cps st_cps;
+  e2_record "e2.callcc" !total_cc !med_cc st_cc;
+  e2_record "e2.call1cc" !total_1cc !med_1cc st_1cc;
   note
     "  expected shape: CPS wins only for switches more frequent than about\n\
     \  once every 4-8 calls; call/1cc <= call/cc everywhere; the advantage\n\

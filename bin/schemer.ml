@@ -15,8 +15,8 @@ open Cmdliner
    (Scheme.Pool), one OCaml domain per shard unless --sequential.  Shard
    results print in index order, so the output is deterministic either
    way. *)
-let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~jobs ~sequential
-    ~exprs ~files =
+let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~jobs
+    ~sequential ~exprs ~files =
   let read_file file =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -26,7 +26,7 @@ let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~jobs ~sequential
   in
   let src = String.concat "\n" (List.map read_file files @ exprs) in
   match
-    Scheme.Pool.run ~backend ~corpus ~optimize ~peephole
+    Scheme.Pool.run ~backend ~corpus ~optimize ~peephole ~regalloc
       ~domains:(not sequential) ~jobs src
   with
   | shards ->
@@ -57,9 +57,12 @@ let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~jobs ~sequential
       1
 
 let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-    ~optimize ~peephole ~exprs ~files ~interactive =
+    ~optimize ~peephole ~regalloc ~exprs ~files ~interactive =
   let stats = Stats.create () in
-  let s = Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole () in
+  let s =
+    Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole ~regalloc
+      ()
+  in
   if corpus then Scheme.load_corpus s;
   let dump_output () =
     let out = Scheme.output s in
@@ -69,7 +72,8 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
     if disassemble then
       List.iter
         (fun code -> print_string (Bytecode.disassemble_deep code))
-        (Compiler.compile_string ~optimize ~peephole (Scheme.globals s) src)
+        (Compiler.compile_string ~optimize ~peephole ~regalloc
+           (Scheme.globals s) src)
     else
       match Scheme.eval s src with
       | v ->
@@ -176,7 +180,7 @@ let capture_conv =
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     no_cache promotion capture scheme_winders corpus stats_flag disassemble
-    optimize no_peephole jobs sequential exprs files =
+    optimize no_peephole no_regalloc jobs sequential exprs files =
   let config =
     {
       Control.default_config with
@@ -203,10 +207,12 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
   let interactive = exprs = [] && files = [] in
   if jobs > 1 then
     run_pool ~backend ~corpus ~stats_flag ~optimize
-      ~peephole:(not no_peephole) ~jobs ~sequential ~exprs ~files
+      ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~jobs ~sequential
+      ~exprs ~files
   else
     run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-      ~optimize ~peephole:(not no_peephole) ~exprs ~files ~interactive
+      ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~exprs
+      ~files ~interactive
 
 let cmd =
   let backend =
@@ -316,6 +322,15 @@ let cmd =
             "Disable the bytecode peephole pass (superinstruction fusion and \
              inline-cached primitive calls).")
   in
+  let no_regalloc =
+    Arg.(
+      value & flag
+      & info [ "no-regalloc" ]
+          ~doc:
+            "Disable the register-lowering stage of the peephole pass \
+             (operand-addressed primitive calls and fused returns), keeping \
+             the push-based encoding; for differential testing.")
+  in
   let jobs =
     Arg.(
       value & opt int 1
@@ -345,8 +360,8 @@ let cmd =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
-      $ stats_flag $ disassemble $ optimize $ no_peephole $ jobs $ sequential
-      $ exprs $ files)
+      $ stats_flag $ disassemble $ optimize $ no_peephole $ no_regalloc $ jobs
+      $ sequential $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

@@ -103,6 +103,14 @@ let[@inline] load slots fp = function
   | S_local i -> slots.(fp + i)
   | S_const v -> v
 
+(* Operand loader for the register-addressed forms ([Prim_call1_op]
+   etc.): same idea as [load], plus [Op_acc] for the value the lowered
+   [Local_set] head would have stored. *)
+let[@inline] load_op slots fp acc = function
+  | Op_acc -> acc
+  | Op_local i -> slots.(fp + i)
+  | Op_const v -> v
+
 (* Monomorphic inline cache for [Call]/[Tail_call] steps: when a site
    keeps calling the same code object, the cached tuple carries the
    callee's post-[Enter] entry step and frame extent, so the transfer
@@ -809,6 +817,178 @@ and emit arr instrs (code : code) pc : step =
             relaunch vm
           end
         end)
+  (* ---- register-addressed forms (Optimize.fuse_operands) ----
+     Bytecode-level analogues of this backend's push→prim forwarding:
+     the head of the staged sequence carries the operands, the retained
+     originals after it form the deopt landing pad (each still gets its
+     own step above — any synced pc can become a landing entry).  One
+     instruction is counted per fused form, mirroring the engine loop's
+     handlers exactly, so [instrs] parity across backends is preserved
+     by construction.  Guard failure spills the operand values into the
+     frame's argument slots before re-entering {!Vm_policy}. *)
+  | Prim_call1_op (site, a) -> (
+      let argd = site.ps_disp + 2 in
+      match Array.unsafe_get instrs (pc + 2) with
+      | Local_set j ->
+          let k = arr.(pc + 3) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 2) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(1) in
+                args.(0) <- load_op slots fp acc a;
+                let v = site.ps_fn args in
+                slots.(fp + j) <- v;
+                k vm slots fp limit (budget - (steps + 1)) v 1
+              end
+              else op_deopt1 vm slots fp acc a argd site
+            end
+      | _ ->
+          let k = arr.(pc + 2) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 2) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(1) in
+                args.(0) <- load_op slots fp acc a;
+                let v = site.ps_fn args in
+                k vm slots fp limit (budget - (steps + 1)) v 0
+              end
+              else op_deopt1 vm slots fp acc a argd site
+            end)
+  | Prim_call2_op (site, a, b) -> (
+      let argd = site.ps_disp + 2 in
+      match Array.unsafe_get instrs (pc + 3) with
+      | Local_set j ->
+          let k = arr.(pc + 4) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 3) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(2) in
+                args.(0) <- load_op slots fp acc a;
+                args.(1) <- load_op slots fp acc b;
+                let v = site.ps_fn args in
+                slots.(fp + j) <- v;
+                k vm slots fp limit (budget - (steps + 1)) v 1
+              end
+              else op_deopt2 vm slots fp acc a b argd site
+            end
+      | _ ->
+          let k = arr.(pc + 3) in
+          fun vm slots fp limit budget acc steps ->
+            if steps >= budget then fuel_stop vm steps pc acc
+            else begin
+              sync vm (steps + 1) (pc + 3) acc;
+              if site.ps_global.gval == site.ps_guard then begin
+                prim_fast_stats vm;
+                let args = vm.scratch.(2) in
+                args.(0) <- load_op slots fp acc a;
+                args.(1) <- load_op slots fp acc b;
+                let v = site.ps_fn args in
+                k vm slots fp limit (budget - (steps + 1)) v 0
+              end
+              else op_deopt2 vm slots fp acc a b argd site
+            end)
+  | Prim_branch1_op (site, a, t) ->
+      let argd = site.ps_disp + 2 in
+      let k = arr.(pc + 3) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 2) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            prim_fast_stats vm;
+            let args = vm.scratch.(1) in
+            args.(0) <- load_op slots fp acc a;
+            match site.ps_fn args with
+            | Bool false ->
+                (Array.unsafe_get arr t) vm slots fp limit
+                  (budget - (steps + 1))
+                  (Bool false) 0
+            | v -> k vm slots fp limit (budget - (steps + 1)) v 0
+          end
+          else
+            (* [ps_ret] resumes at the retained [Branch_false] at
+               [pc + 2]. *)
+            op_deopt1 vm slots fp acc a argd site
+        end
+  | Prim_branch2_op (site, a, b, t) ->
+      let argd = site.ps_disp + 2 in
+      let k = arr.(pc + 4) in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 3) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            prim_fast_stats vm;
+            let args = vm.scratch.(2) in
+            args.(0) <- load_op slots fp acc a;
+            args.(1) <- load_op slots fp acc b;
+            match site.ps_fn args with
+            | Bool false ->
+                (Array.unsafe_get arr t) vm slots fp limit
+                  (budget - (steps + 1))
+                  (Bool false) 0
+            | v -> k vm slots fp limit (budget - (steps + 1)) v 0
+          end
+          else op_deopt2 vm slots fp acc a b argd site
+        end
+  | Prim_tail1_op (site, a) ->
+      let argd = site.ps_disp + 2 in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 2) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            prim_fast_stats vm;
+            let args = vm.scratch.(1) in
+            args.(0) <- load_op slots fp acc a;
+            let v = site.ps_fn args in
+            do_return_fast vm slots fp limit (budget - (steps + 1)) v 0 (pc + 2)
+          end
+          else begin
+            slots.(fp + argd) <- load_op slots fp acc a;
+            Vm_policy.prim_deopt_tail_call vm site;
+            relaunch vm
+          end
+        end
+  | Prim_tail2_op (site, a, b) ->
+      let argd = site.ps_disp + 2 in
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else begin
+          sync vm (steps + 1) (pc + 3) acc;
+          if site.ps_global.gval == site.ps_guard then begin
+            prim_fast_stats vm;
+            let args = vm.scratch.(2) in
+            args.(0) <- load_op slots fp acc a;
+            args.(1) <- load_op slots fp acc b;
+            let v = site.ps_fn args in
+            do_return_fast vm slots fp limit (budget - (steps + 1)) v 0 (pc + 3)
+          end
+          else begin
+            slots.(fp + argd) <- load_op slots fp acc a;
+            slots.(fp + argd + 1) <- load_op slots fp acc b;
+            Vm_policy.prim_deopt_tail_call vm site;
+            relaunch vm
+          end
+        end
+  | Return_op a ->
+      (* Fused producer + [Return], one counted instruction; the retained
+         [Return] sits at [pc + 1]. *)
+      fun vm slots fp limit budget acc steps ->
+        if steps >= budget then fuel_stop vm steps pc acc
+        else
+          do_return_fast vm slots fp limit budget
+            (load_op slots fp acc a)
+            (steps + 1) (pc + 2)
 
 (* A [Const_push]/[Local_push] step.  Beyond plain pair fusion, a push
    run that exactly stages the arguments of a following inline-cached
@@ -1016,6 +1196,21 @@ and prim_deopt2 (vm : t) slots fp src1 d1 src2 d2 site steps resume_pc acc =
   Vm_policy.prim_deopt_call vm site;
   relaunch vm
 
+(* Guard failure of a register-addressed call/branch form: the step has
+   already synced at the retained consumer's pc, so only the operand
+   spill into the frame's argument slots remains before re-entering the
+   frame policy. *)
+and op_deopt1 (vm : t) slots fp acc a argd site =
+  slots.(fp + argd) <- load_op slots fp acc a;
+  Vm_policy.prim_deopt_call vm site;
+  relaunch vm
+
+and op_deopt2 (vm : t) slots fp acc a b argd site =
+  slots.(fp + argd) <- load_op slots fp acc a;
+  slots.(fp + argd + 1) <- load_op slots fp acc b;
+  Vm_policy.prim_deopt_call vm site;
+  relaunch vm
+
 (* The shared tail of a fused return step: [steps] is the total count
    including every fused instruction (the batch carries into the caller
    on the fast path, unflushed), [next_pc] the pc past the [Return]
@@ -1093,9 +1288,10 @@ let run_program ?fuel (vm : t) codes =
    top-level form is template-compiled before execution starts, so the
    measured run performs no compilation (runtime-generated code — [eval]
    the Scheme special — still compiles on demand in [relaunch]). *)
-let eval ?fuel ?optimize ?peephole (vm : t) src =
+let eval ?fuel ?optimize ?peephole ?regalloc (vm : t) src =
   let codes =
-    Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src
+    Compiler.compile_string ?optimize ?peephole ?regalloc ~menv:vm.menv
+      vm.globals src
   in
   List.iter
     (fun c ->

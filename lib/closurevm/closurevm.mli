@@ -42,11 +42,18 @@ val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
 (** Run a compiled program form by form; the last form's value. *)
 
 val eval :
-  ?fuel:int -> ?optimize:bool -> ?peephole:bool -> t -> string -> Rt.value
+  ?fuel:int ->
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  t ->
+  string ->
+  Rt.value
 (** Read, expand, compile, template-compile (the full closure DAG of
     every form, eagerly), and run source text.  [peephole] (default
-    [true]) controls the bytecode fusion pass; [optimize] (default
-    [false]) the AST-level constant folder. *)
+    [true]) controls the bytecode fusion pass; [regalloc] (default
+    [true]) its register-lowering stage; [optimize] (default [false])
+    the AST-level constant folder. *)
 
 val output : t -> string
 (** Text emitted by [display]/[write]/[newline] so far. *)

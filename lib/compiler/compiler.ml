@@ -359,8 +359,9 @@ let compile_eval ?menv globals (datum : Rt.value) : Rt.code =
       Bytecode.make_code ~name:"eval" ~arity:(Rt.Exactly 0) ~frame_words:(d + 3)
         (Array.of_list (List.rev !instrs))
 
-let compile_string ?(optimize = false) ?(peephole = true) ?menv globals src =
+let compile_string ?(optimize = false) ?(peephole = true) ?(regalloc = true)
+    ?menv globals src =
   let tops = Expander.expand_string ?menv src in
   let tops = if optimize then Optimize.program tops else tops in
   let codes = compile_program globals tops in
-  if peephole then Optimize.peephole_program codes else codes
+  if peephole then Optimize.peephole_program ~regalloc codes else codes

@@ -26,6 +26,7 @@ val compile_program : Globals.t -> Ast.top list -> Rt.code list
 val compile_string :
   ?optimize:bool ->
   ?peephole:bool ->
+  ?regalloc:bool ->
   ?menv:Macro.menv ->
   Globals.t ->
   string ->
@@ -36,7 +37,11 @@ val compile_string :
     which assumes standard bindings and can change the meaning of
     programs that [set!] folded primitives.  [peephole] (default [true])
     runs the always-sound bytecode fusion pass ({!Optimize.peephole});
-    pass [~peephole:false] to see (or execute) the unfused bytecode. *)
+    pass [~peephole:false] to see (or execute) the unfused bytecode.
+    [regalloc] (default [true]) controls the register-lowering stage of
+    that pass (operand-addressed [Prim_*_op]/[Return_op] forms); pass
+    [~regalloc:false] to keep the push-based encoding while retaining
+    the other fusions.  Ignored when [peephole] is [false]. *)
 
 val compile_eval : ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
 (** Compile a runtime datum for [(eval datum)]: a single zero-argument

@@ -336,6 +336,93 @@ let fuse_branches instrs =
       else i)
     instrs
 
+(* Stage 4: register lowering ("regalloc").  The argument-staging
+   instructions of an already-fused primitive call — [Const_push] /
+   [Local_push] into the site's argument slots, or the [Local_set] that
+   stores a just-computed accumulator value into the first one — fold
+   into the consumer as [Rt.operand]s, so the staged values are read
+   straight from the accumulator, a source slot, or the instruction
+   stream and never touch stack memory on the fast path.
+
+   Like branch fusion this stage is purely local: only the *head* of the
+   staged sequence is replaced, every following original (the remaining
+   pushes and the consuming [Prim_call*]/[Prim_branch*]/[Prim_tail_call]/
+   [Return]) is retained in place as the deopt landing pad, and no pc is
+   renumbered — the retained consumer keeps the pc its interned [ps_ret]
+   was backpatched against, branches into the interior keep their exact
+   unfused semantics, and the fused handler's slow paths spill the
+   operand values into the argument slots before re-entering the frame
+   policy.
+
+   Soundness of skipping the staged writes: the matched destination
+   slots are exactly the consumer's argument slots ([ps_disp + 2 ..]),
+   which the compiler's slot allocator retires after the call (a live
+   variable always sits below any later-reserved call area), so the only
+   reader of those slots is the consumer itself — which now carries the
+   values as operands — or the retained landing pad, which re-stages
+   them itself.  A [Local_push] source read out of order must not alias
+   a slot staged earlier in the same sequence; [no_alias] rejects that
+   (the analogue of the [s <> d] guard in stage 1). *)
+let fuse_operands instrs =
+  let n = Array.length instrs in
+  let out = Array.copy instrs in
+  let staged pc =
+    if pc >= n then None
+    else
+      match instrs.(pc) with
+      | Rt.Const_push (v, d) -> Some (d, Rt.Op_const v)
+      | Rt.Local_push (s, d) -> Some (d, Rt.Op_local s)
+      | Rt.Local_set d -> Some (d, Rt.Op_acc)
+      | _ -> None
+  in
+  let no_alias ~staged_slot = function
+    | Rt.Op_local s -> s <> staged_slot
+    | _ -> true
+  in
+  for pc = 0 to n - 1 do
+    match staged pc with
+    | None ->
+        (* Producer + [Return] epilogue: one dispatch per leaf return. *)
+        if pc + 1 < n then (
+          match (instrs.(pc), instrs.(pc + 1)) with
+          | Rt.Const v, Rt.Return -> out.(pc) <- Rt.Return_op (Rt.Op_const v)
+          | Rt.Local_ref s, Rt.Return ->
+              out.(pc) <- Rt.Return_op (Rt.Op_local s)
+          | _ -> ())
+    | Some (d0, op0) -> (
+        let two =
+          if pc + 2 >= n then None
+          else
+            match staged (pc + 1) with
+            | Some (d1, op1) when d1 = d0 + 1 && no_alias ~staged_slot:d0 op1
+              -> (
+                match instrs.(pc + 2) with
+                | Rt.Prim_call2 site when site.Rt.ps_disp + 2 = d0 ->
+                    Some (Rt.Prim_call2_op (site, op0, op1))
+                | Rt.Prim_branch2 (site, t) when site.Rt.ps_disp + 2 = d0 ->
+                    Some (Rt.Prim_branch2_op (site, op0, op1, t))
+                | Rt.Prim_tail_call site
+                  when site.Rt.ps_nargs = 2 && site.Rt.ps_disp + 2 = d0 ->
+                    Some (Rt.Prim_tail2_op (site, op0, op1))
+                | _ -> None)
+            | _ -> None
+        in
+        match two with
+        | Some f -> out.(pc) <- f
+        | None ->
+            if pc + 1 < n then (
+              match instrs.(pc + 1) with
+              | Rt.Prim_call1 site when site.Rt.ps_disp + 2 = d0 ->
+                  out.(pc) <- Rt.Prim_call1_op (site, op0)
+              | Rt.Prim_branch1 (site, t) when site.Rt.ps_disp + 2 = d0 ->
+                  out.(pc) <- Rt.Prim_branch1_op (site, op0, t)
+              | Rt.Prim_tail_call site
+                when site.Rt.ps_nargs = 1 && site.Rt.ps_disp + 2 = d0 ->
+                  out.(pc) <- Rt.Prim_tail1_op (site, op0)
+              | _ -> ()))
+  done;
+  out
+
 (* Fuse one code object and, recursively, every code object it closes
    over.  Frame layout, arity, and [frame_words] are unchanged: fusion
    only merges dispatches.
@@ -344,13 +431,18 @@ let fuse_branches instrs =
    [Bytecode.backpatch] at [make_code] time are stale: surviving [Call]
    sites are re-created fresh (never shared with the pre-fusion array,
    whose backpatched [cs_ret] still describes the old numbering) and the
-   fused code object is re-backpatched as the final step. *)
-let rec peephole (c : Rt.code) : Rt.code =
+   fused code object is re-backpatched as the final step.  The register
+   lowering ([fuse_operands], [--no-regalloc] escape hatch) runs after
+   the renumbering stages and after branch fusion, so the operand forms
+   never need remapping and can consume branch-fused consumers. *)
+let rec peephole ?(regalloc = true) (c : Rt.code) : Rt.code =
   let instrs = fuse_branches (fuse_prim_calls (fuse_pushes c.Rt.instrs)) in
+  let instrs = if regalloc then fuse_operands instrs else instrs in
   let instrs =
     Array.map
       (function
-        | Rt.Make_closure (cc, caps) -> Rt.Make_closure (peephole cc, caps)
+        | Rt.Make_closure (cc, caps) ->
+            Rt.Make_closure (peephole ~regalloc cc, caps)
         | Rt.Call { cs_disp; cs_nargs; _ } ->
             Rt.Call { cs_disp; cs_nargs; cs_ret = Rt.Void }
         | i -> i)
@@ -360,4 +452,4 @@ let rec peephole (c : Rt.code) : Rt.code =
   Bytecode.backpatch c';
   c'
 
-let peephole_program codes = List.map peephole codes
+let peephole_program ?regalloc codes = List.map (peephole ?regalloc) codes

@@ -32,9 +32,24 @@ val program : Ast.top list -> Ast.top list
       carrying an inline cache.  The VM re-validates the cache
       ([gval == ps_guard]) on every execution, so [set!] of a fused
       primitive deoptimizes the site to the generic call path and the
-      program's meaning is preserved. *)
+      program's meaning is preserved.
 
-val peephole : Rt.code -> Rt.code
+    Two further non-renumbering stages follow: branch fusion (the
+    producer of a [Branch_false] test absorbs the branch, the original
+    branch staying in place as the deopt landing pad) and register
+    lowering ([regalloc], on by default, [~regalloc:false] /
+    [--no-regalloc] to disable): the argument-staging pushes of a fused
+    primitive call — and the [Local_set] storing a just-computed
+    accumulator value into the first argument slot — fold into the
+    consumer as [Rt.operand]s ([Prim_call1_op] ... [Prim_tail2_op]), and
+    producer+[Return] epilogues fold into [Return_op].  Only the head of
+    each staged sequence is replaced; the retained originals form the
+    deopt landing pad and the fused handlers spill operand values into
+    the argument slots before any slow path re-enters the frame policy,
+    so captured segment contents are byte-identical to the unfused
+    execution. *)
+
+val peephole : ?regalloc:bool -> Rt.code -> Rt.code
 (** Fuse one code object (recursing into [Make_closure] bodies). *)
 
-val peephole_program : Rt.code list -> Rt.code list
+val peephole_program : ?regalloc:bool -> Rt.code list -> Rt.code list

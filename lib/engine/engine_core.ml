@@ -73,6 +73,14 @@
 open Rt
 open Engine
 
+(* Resolve a register-addressed operand (Optimize.fuse_operands): the
+   accumulator, a frame slot, or an immediate.  Cannot raise. *)
+let[@inline] load_op slots fp acc op =
+  match op with
+  | Op_acc -> acc
+  | Op_local i -> slots.(fp + i)
+  | Op_const v -> v
+
 let[@inline] sync (vm : Policy.t) steps pc acc =
   vm.pc <- pc;
   vm.acc <- acc;
@@ -467,6 +475,184 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
         Policy.prim_deopt_tail_call vm site;
         relaunch vm
       end
+  (* ---- register-addressed forms (Optimize.fuse_operands) ----
+     One dispatch covers the argument staging and the consumer.  The
+     staged sequence's originals are retained right after the fused head
+     as the deopt landing pad, so the skip widths below are fixed by
+     shape (operand count, plus the retained [Branch_false] of the
+     branch forms), and the sync pc is the same address the retained
+     consumer would sync — an error handler or a deopted call resumes
+     exactly as in the unfused stream.  Every slow path that re-enters
+     the frame policy first spills the operand values into the frame's
+     argument slots, so the frame the policy (or a capture under it)
+     observes is byte-identical to the unfused execution's. *)
+  | Prim_call1_op (site, a) ->
+      sync vm (steps + 1) (pc + 2) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- load_op slots fp acc a;
+        let v = site.ps_fn args in
+        exec vm instrs slots fp limit (budget - (steps + 1)) v 0 (pc + 2)
+      end
+      else begin
+        ignore
+          (Policy.set vm slots fp (site.ps_disp + 2) (load_op slots fp acc a));
+        Policy.prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_call2_op (site, a, b) ->
+      sync vm (steps + 1) (pc + 3) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        args.(0) <- load_op slots fp acc a;
+        args.(1) <- load_op slots fp acc b;
+        let v = site.ps_fn args in
+        exec vm instrs slots fp limit (budget - (steps + 1)) v 0 (pc + 3)
+      end
+      else begin
+        let v1 = load_op slots fp acc a in
+        let v2 = load_op slots fp acc b in
+        let slots = Policy.set vm slots fp (site.ps_disp + 2) v1 in
+        ignore (Policy.set vm slots fp (site.ps_disp + 3) v2);
+        Policy.prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_branch1_op (site, a, t) ->
+      sync vm (steps + 1) (pc + 2) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- load_op slots fp acc a;
+        let v = site.ps_fn args in
+        exec vm instrs slots fp limit (budget - (steps + 1)) v 0
+          (match v with Bool false -> t | _ -> pc + 3)
+      end
+      else begin
+        (* [ps_ret] resumes at the retained [Branch_false] at [pc + 2],
+           which re-tests the deopted call's returned value. *)
+        ignore
+          (Policy.set vm slots fp (site.ps_disp + 2) (load_op slots fp acc a));
+        Policy.prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_branch2_op (site, a, b, t) ->
+      sync vm (steps + 1) (pc + 3) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        args.(0) <- load_op slots fp acc a;
+        args.(1) <- load_op slots fp acc b;
+        let v = site.ps_fn args in
+        exec vm instrs slots fp limit (budget - (steps + 1)) v 0
+          (match v with Bool false -> t | _ -> pc + 4)
+      end
+      else begin
+        let v1 = load_op slots fp acc a in
+        let v2 = load_op slots fp acc b in
+        let slots = Policy.set vm slots fp (site.ps_disp + 2) v1 in
+        ignore (Policy.set vm slots fp (site.ps_disp + 3) v2);
+        Policy.prim_deopt_call vm site;
+        relaunch vm
+      end
+  | Prim_tail1_op (site, a) -> (
+      sync vm (steps + 1) (pc + 2) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(1) in
+        args.(0) <- load_op slots fp acc a;
+        let v = site.ps_fn args in
+        match (if Policy.fast then slots.(fp) else Void) with
+        | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+            let nfp = fp - r.rdisp in
+            vm.code <- r.rcode;
+            Policy.set_fp vm nfp;
+            exec vm r.rcode.instrs slots nfp limit (budget - (steps + 1)) v 0
+              r.rpc
+        | _ ->
+            vm.acc <- v;
+            Policy.do_return vm;
+            relaunch vm
+      end
+      else begin
+        ignore
+          (Policy.set vm slots fp (site.ps_disp + 2) (load_op slots fp acc a));
+        Policy.prim_deopt_tail_call vm site;
+        relaunch vm
+      end)
+  | Prim_tail2_op (site, a, b) -> (
+      sync vm (steps + 1) (pc + 3) acc;
+      if site.ps_global.gval == site.ps_guard then begin
+        let stats = vm.stats in
+        if stats.Stats.enabled then begin
+          stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
+          stats.Stats.prim_fast <- stats.Stats.prim_fast + 1
+        end;
+        let args = vm.scratch.(2) in
+        args.(0) <- load_op slots fp acc a;
+        args.(1) <- load_op slots fp acc b;
+        let v = site.ps_fn args in
+        match (if Policy.fast then slots.(fp) else Void) with
+        | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+            let nfp = fp - r.rdisp in
+            vm.code <- r.rcode;
+            Policy.set_fp vm nfp;
+            exec vm r.rcode.instrs slots nfp limit (budget - (steps + 1)) v 0
+              r.rpc
+        | _ ->
+            vm.acc <- v;
+            Policy.do_return vm;
+            relaunch vm
+      end
+      else begin
+        let v1 = load_op slots fp acc a in
+        let v2 = load_op slots fp acc b in
+        let slots = Policy.set vm slots fp (site.ps_disp + 2) v1 in
+        ignore (Policy.set vm slots fp (site.ps_disp + 3) v2);
+        Policy.prim_deopt_tail_call vm site;
+        relaunch vm
+      end)
+  | Return_op a -> (
+      (* Fused producer + [Return]: the returned value comes from the
+         operand, never from [acc].  Same fast/slow split as [Return];
+         the retained [Return] sits at [pc + 1]. *)
+      let v = load_op slots fp acc a in
+      match (if Policy.fast then slots.(fp) else Void) with
+      | Retaddr r when fp - r.rdisp + r.rcode.frame_words <= limit ->
+          let nfp = fp - r.rdisp in
+          vm.code <- r.rcode;
+          Policy.set_fp vm nfp;
+          let stats = vm.stats in
+          if stats.Stats.enabled then
+            stats.Stats.instrs <- stats.Stats.instrs + steps + 1;
+          if vm.fuel >= 0 then vm.fuel <- vm.fuel - (steps + 1);
+          exec vm r.rcode.instrs slots nfp limit (budget - (steps + 1)) v 0
+            r.rpc
+      | _ ->
+          sync vm (steps + 1) (pc + 2) v;
+          Policy.do_return vm;
+          relaunch vm)
 
 (* Re-establish the cached landing state from [vm] after a control
    transfer and continue executing (or stop, when the transfer halted the
@@ -512,6 +698,7 @@ let run ?(fuel = -1) (vm : Policy.t) code =
 let run_program ?fuel (vm : Policy.t) codes =
   List.fold_left (fun _ code -> run ?fuel vm code) Void codes
 
-let eval ?fuel ?optimize ?peephole (vm : Policy.t) src =
+let eval ?fuel ?optimize ?peephole ?regalloc (vm : Policy.t) src =
   run_program ?fuel vm
-    (Compiler.compile_string ?optimize ?peephole ~menv:vm.menv vm.globals src)
+    (Compiler.compile_string ?optimize ?peephole ?regalloc ~menv:vm.menv
+       vm.globals src)

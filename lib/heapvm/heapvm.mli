@@ -31,6 +31,12 @@ val run : ?fuel:int -> t -> Rt.code -> Rt.value
 val run_program : ?fuel:int -> t -> Rt.code list -> Rt.value
 
 val eval :
-  ?fuel:int -> ?optimize:bool -> ?peephole:bool -> t -> string -> Rt.value
+  ?fuel:int ->
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  t ->
+  string ->
+  Rt.value
 
 val output : t -> string

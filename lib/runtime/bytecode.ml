@@ -10,6 +10,12 @@ open Rt
 
 let transfers_control = function
   | Return | Halt | Branch _ | Tail_call _ | Prim_tail_call _ -> true
+  (* The register-addressed tail/return forms transfer unconditionally
+     too (their deopt paths tail-call through the frame policy), though
+     the regalloc lowering always retains the original transfer after
+     them as the landing pad, so they are never the last instruction of
+     a generated stream. *)
+  | Return_op _ | Prim_tail1_op _ | Prim_tail2_op _ -> true
   | _ -> false
 
 let validate ~name instrs =
@@ -22,7 +28,9 @@ let validate ~name instrs =
       | Branch t | Branch_false t
       | Local_branch_false (_, t)
       | Prim_branch1 (_, t)
-      | Prim_branch2 (_, t) ->
+      | Prim_branch2 (_, t)
+      | Prim_branch1_op (_, _, t)
+      | Prim_branch2_op (_, _, _, t) ->
           if t < 0 || t >= n then
             invalid_arg (Printf.sprintf "%s: branch target %d out of range" name t)
       | _ -> ())
@@ -45,7 +53,12 @@ let backpatch code =
       | Prim_branch2 (site, _) ->
           (* For the branch-fused forms, [pc + 1] is the retained
              [Branch_false]: a deopted call returns into it and the branch
-             re-executes on the returned value. *)
+             re-executes on the returned value.  The register-addressed
+             forms need no case of their own: the regalloc lowering keeps
+             the original [Prim_call*]/[Prim_branch*] in place at its pc
+             as the landing pad and shares its [prim_site], so the
+             interned [ps_ret] set here is exactly the resume point a
+             deopted operand form needs. *)
           site.ps_ret <-
             Retaddr { rcode = code; rpc = pc + 1; rdisp = site.ps_disp }
       | _ -> ())
@@ -66,6 +79,11 @@ let arity_matches arity n =
 let arity_to_string = function
   | Exactly n -> string_of_int n
   | At_least n -> Printf.sprintf "%d+" n
+
+let operand_to_string = function
+  | Op_acc -> "acc"
+  | Op_local i -> Printf.sprintf "l%d" i
+  | Op_const v -> Values.write_string v
 
 let instr_to_string = function
   | Const v -> "const " ^ Values.write_string v
@@ -117,6 +135,25 @@ let instr_to_string = function
       Printf.sprintf "prim-branch1 %s disp=%d %d" s.ps_prim.pname s.ps_disp t
   | Prim_branch2 (s, t) ->
       Printf.sprintf "prim-branch2 %s disp=%d %d" s.ps_prim.pname s.ps_disp t
+  | Prim_call1_op (s, a) ->
+      Printf.sprintf "prim-call1-op %s %s disp=%d" s.ps_prim.pname
+        (operand_to_string a) s.ps_disp
+  | Prim_call2_op (s, a, b) ->
+      Printf.sprintf "prim-call2-op %s %s %s disp=%d" s.ps_prim.pname
+        (operand_to_string a) (operand_to_string b) s.ps_disp
+  | Prim_branch1_op (s, a, t) ->
+      Printf.sprintf "prim-branch1-op %s %s disp=%d %d" s.ps_prim.pname
+        (operand_to_string a) s.ps_disp t
+  | Prim_branch2_op (s, a, b, t) ->
+      Printf.sprintf "prim-branch2-op %s %s %s disp=%d %d" s.ps_prim.pname
+        (operand_to_string a) (operand_to_string b) s.ps_disp t
+  | Prim_tail1_op (s, a) ->
+      Printf.sprintf "prim-tail1-op %s %s disp=%d" s.ps_prim.pname
+        (operand_to_string a) s.ps_disp
+  | Prim_tail2_op (s, a, b) ->
+      Printf.sprintf "prim-tail2-op %s %s %s disp=%d" s.ps_prim.pname
+        (operand_to_string a) (operand_to_string b) s.ps_disp
+  | Return_op a -> Printf.sprintf "return-op %s" (operand_to_string a)
 
 let disassemble code =
   let buf = Buffer.create 256 in

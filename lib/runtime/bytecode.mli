@@ -24,6 +24,11 @@ val arity_matches : Rt.arity -> int -> bool
 
 val arity_to_string : Rt.arity -> string
 
+val instr_to_string : Rt.instr -> string
+(** One-line rendering of a single instruction, as used by the
+    disassembler listings (operand forms render their operands as [acc],
+    [l<i>], or the written constant). *)
+
 val disassemble : Rt.code -> string
 (** Multi-line listing of one code object (not recursing into nested
     closures). *)

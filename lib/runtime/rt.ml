@@ -137,6 +137,37 @@ and instr =
   | Local_branch_false of int * int      (* acc := frame.(i); branch if false *)
   | Prim_branch1 of prim_site * int      (* Prim_call1 + Branch_false *)
   | Prim_branch2 of prim_site * int      (* Prim_call2 + Branch_false *)
+  (* Register-addressed (operand) forms, emitted only by the regalloc
+     peephole stage (Optimize.peephole, --no-regalloc escape hatch).  The
+     argument-staging pushes of a fused prim call are folded into the
+     consumer as [operand]s read straight from the accumulator, a frame
+     slot, or the instruction stream, so the staged values never touch
+     stack memory on the fast path.  Like branch fusion, the lowering
+     replaces only the *first* instruction of the staged sequence and
+     retains every following original in place as the deopt landing pad:
+     the retained [Prim_call*]/[Prim_branch*]/[Prim_tail_call]/[Return]
+     keeps its pc, so [Bytecode.backpatch] interns [ps_ret] exactly as in
+     the unfused stream and no pcs are renumbered.  On guard failure (or
+     before any slow path that re-enters the frame policy) the handler
+     first spills the operand values into the frame's argument slots —
+     the frame a capture or deopt observes is byte-identical to the one
+     the unfused sequence would have built.  The skip widths are fixed by
+     shape: a fused form with [n] operands jumps [n + 1] instructions
+     (staged pushes + retained prim), plus one more for the retained
+     [Branch_false] of the branch forms. *)
+  | Prim_call1_op of prim_site * operand
+  | Prim_call2_op of prim_site * operand * operand
+  | Prim_branch1_op of prim_site * operand * int
+  | Prim_branch2_op of prim_site * operand * operand * int
+  | Prim_tail1_op of prim_site * operand
+  | Prim_tail2_op of prim_site * operand * operand
+  | Return_op of operand                 (* producer + Return in one dispatch *)
+
+(* Where a register-addressed instruction reads a value from: the
+   accumulator (the value the head [Local_set] of the unfused sequence
+   would have stored), a frame slot (a [Local_push] source), or an
+   immediate (a [Const_push] payload). *)
+and operand = Op_acc | Op_local of int | Op_const of value
 
 (* A non-tail call site.  [cs_ret] is the site's return address, interned
    once by [Bytecode.backpatch] right after the enclosing code object is

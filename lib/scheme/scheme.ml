@@ -16,21 +16,25 @@ type t = {
   stats : Stats.t;
   optimize : bool;
   peephole : bool;
+  regalloc : bool;
 }
 
 let eval_machine ?fuel t src =
   match t.machine with
   | M_stack vm ->
-      Vm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
+      Vm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
+        ~regalloc:t.regalloc vm src
   | M_closure vm ->
-      Closurevm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
+      Closurevm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
+        ~regalloc:t.regalloc vm src
   | M_heap vm ->
-      Heapvm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole vm src
+      Heapvm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
+        ~regalloc:t.regalloc vm src
   | M_oracle o -> Oracle.eval ?fuel o src
 
 let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     ?(scheme_winders = false) ?(corpus = false) ?(optimize = false)
-    ?(peephole = true) () =
+    ?(peephole = true) ?(regalloc = true) () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let machine =
     match backend with
@@ -39,7 +43,7 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     | Heap -> M_heap (Heapvm.create ~stats ())
     | Oracle -> M_oracle (Oracle.create ~stats ())
   in
-  let t = { which = backend; machine; stats; optimize; peephole } in
+  let t = { which = backend; machine; stats; optimize; peephole; regalloc } in
   if prelude then
     ignore
       (eval_machine t
@@ -105,19 +109,22 @@ module Pool = struct
      prelude/corpus load so each shard reports the measured program
      alone, making per-shard counters comparable with a single
      sequential session running the same source. *)
-  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole i src =
+  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc i src =
     let stats = Stats.create () in
-    let t = create ~backend ~stats ~optimize ~peephole () in
+    let t = create ~backend ~stats ~optimize ~peephole ~regalloc () in
     if corpus then load_corpus t;
     Stats.reset stats;
     let value = eval ?fuel t src in
     { shard = i; value; output = output t; stats }
 
   let run ?(backend = Stack Control.default_config) ?fuel ?(corpus = false)
-      ?(optimize = false) ?(peephole = true) ?domains ~jobs src =
+      ?(optimize = false) ?(peephole = true) ?(regalloc = true) ?domains ~jobs
+      src =
     let jobs = max 1 jobs in
     let parallel = match domains with Some b -> b | None -> jobs > 1 in
-    let go i = run_shard ~backend ~fuel ~corpus ~optimize ~peephole i src in
+    let go i =
+      run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc i src
+    in
     let idx = List.init jobs Fun.id in
     if parallel then
       (* Spawn all shards, then join in order: aggregate throughput

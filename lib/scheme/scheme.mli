@@ -22,13 +22,15 @@ type t
 val create :
   ?backend:backend -> ?stats:Stats.t -> ?prelude:bool ->
   ?scheme_winders:bool -> ?corpus:bool -> ?optimize:bool ->
-  ?peephole:bool -> unit -> t
+  ?peephole:bool -> ?regalloc:bool -> unit -> t
 (** Defaults: [Stack Control.default_config], prelude loaded with the
     native winder protocol ([?scheme_winders:true] loads the historical
     Scheme-level [%winders] implementation instead, for differential
     testing), benchmark corpus definitions not loaded, AST optimizer off
     (see {!Optimize}), bytecode peephole fusion on ([?peephole:false]
-    executes the unfused bytecode, e.g. for differential testing). *)
+    executes the unfused bytecode, e.g. for differential testing), and
+    its register-lowering stage on ([?regalloc:false] keeps the
+    push-based encoding while retaining the other fusions). *)
 
 val backend : t -> backend
 val eval : ?fuel:int -> t -> string -> Rt.value
@@ -76,7 +78,8 @@ module Pool : sig
 
   val run :
     ?backend:backend -> ?fuel:int -> ?corpus:bool -> ?optimize:bool ->
-    ?peephole:bool -> ?domains:bool -> jobs:int -> string -> shard list
+    ?peephole:bool -> ?regalloc:bool -> ?domains:bool -> jobs:int ->
+    string -> shard list
   (** Evaluate [src] on [jobs] fresh sessions and return the shards in
       index order.  [domains] forces the execution mode: [true] spawns
       one domain per shard, [false] runs them sequentially on the

@@ -28,13 +28,16 @@ let tiny_config =
 
 let configs =
   [
-    ("stack", Scheme.Stack Control.default_config, true);
-    ("stack-nofuse", Scheme.Stack Control.default_config, false);
-    ("stack-tiny", Scheme.Stack tiny_config, true);
-    ("closure", Scheme.Closure Control.default_config, true);
-    ("closure-nofuse", Scheme.Closure Control.default_config, false);
-    ("closure-tiny", Scheme.Closure tiny_config, true);
-    ("heap", Scheme.Heap, true);
+    ("stack", Scheme.Stack Control.default_config, true, true);
+    ("stack-noreg", Scheme.Stack Control.default_config, true, false);
+    ("stack-nofuse", Scheme.Stack Control.default_config, false, true);
+    ("stack-tiny", Scheme.Stack tiny_config, true, true);
+    ("closure", Scheme.Closure Control.default_config, true, true);
+    ("closure-noreg", Scheme.Closure Control.default_config, true, false);
+    ("closure-nofuse", Scheme.Closure Control.default_config, false, true);
+    ("closure-tiny", Scheme.Closure tiny_config, true, true);
+    ("heap", Scheme.Heap, true, true);
+    ("heap-noreg", Scheme.Heap, true, false);
   ]
 
 let workloads =
@@ -49,11 +52,11 @@ let workloads =
 
 let () =
   List.iter
-    (fun (cname, backend, peephole) ->
+    (fun (cname, backend, peephole, regalloc) ->
       List.iter
         (fun (wname, src) ->
           let stats = Stats.create () in
-          let s = Scheme.create ~backend ~stats ~peephole () in
+          let s = Scheme.create ~backend ~stats ~peephole ~regalloc () in
           Scheme.load_corpus s;
           Stats.reset stats;
           ignore (Scheme.eval ~fuel:100_000_000 s src);

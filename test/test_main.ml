@@ -13,6 +13,7 @@ let () =
       ("cml", Test_cml.suite);
       ("macros", Test_macros.suite);
       ("peephole", Test_peephole.suite);
+      ("regalloc", Test_regalloc.suite);
       ("perf-counters", Test_perf_counters.suite);
       ("engine", Test_engine.suite);
       ("differential", Test_diff.suite);
