@@ -57,13 +57,21 @@ let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~jobs
       1
 
 let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-    ~optimize ~peephole ~regalloc ~exprs ~files ~interactive =
+    ~optimize ~peephole ~regalloc ~par ~exprs ~files ~interactive =
   let stats = Stats.create () in
   let s =
     Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole ~regalloc
       ()
   in
   if corpus then Scheme.load_corpus s;
+  (* --par-chunk attaches a data-parallel worker pool to this single
+     session: par-map/par-reduce/par-for-each now fan chunks out to
+     --jobs worker shards instead of falling back to the serial
+     library. *)
+  (match par with
+  | Some (chunk, steal, domains, jobs) ->
+      Scheme.par_attach ~chunk ~steal ~domains ~corpus ~jobs s
+  | None -> ());
   let dump_output () =
     let out = Scheme.output s in
     if out <> "" then print_string out
@@ -156,8 +164,20 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
     List.iter
       (fun (name, v) ->
         if v <> 0 then Printf.eprintf "%-18s %d\n" name v)
-      (Stats.to_rows stats)
+      (Stats.to_rows stats);
+    Array.iteri
+      (fun i st ->
+        match st with
+        | None -> ()
+        | Some st ->
+            Printf.eprintf "\n-- machine counters (par shard %d) --\n" i;
+            List.iter
+              (fun (name, v) ->
+                if v <> 0 then Printf.eprintf "%-18s %d\n" name v)
+              (Stats.to_rows st))
+      (Scheme.par_shard_stats s)
   end;
+  if par <> None then Scheme.par_shutdown s;
   0
 
 let backend_conv =
@@ -180,7 +200,8 @@ let capture_conv =
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     no_cache promotion capture scheme_winders corpus stats_flag disassemble
-    optimize no_peephole no_regalloc jobs sequential exprs files =
+    optimize no_peephole no_regalloc jobs sequential par_chunk no_steal exprs
+    files =
   let config =
     {
       Control.default_config with
@@ -205,14 +226,31 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
-  if jobs > 1 then
-    run_pool ~backend ~corpus ~stats_flag ~optimize
-      ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~jobs ~sequential
-      ~exprs ~files
-  else
-    run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-      ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~exprs
-      ~files ~interactive
+  match par_chunk with
+  | Some n when n < 1 ->
+      Printf.eprintf
+        "schemer: unknown value for --par-chunk: %d (expected a chunk size \
+         of at least 1)\n\
+         %!"
+        n;
+      2
+  | Some chunk ->
+      (* --par-chunk selects the data-parallel pool on ONE master
+         session (par-map fan-out), as opposed to --jobs alone, which
+         replicates the whole program across independent sessions. *)
+      run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
+        ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
+        ~par:(Some (chunk, not no_steal, not sequential, jobs))
+        ~exprs ~files ~interactive
+  | None ->
+      if jobs > 1 then
+        run_pool ~backend ~corpus ~stats_flag ~optimize
+          ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~jobs
+          ~sequential ~exprs ~files
+      else
+        run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
+          ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
+          ~par:None ~exprs ~files ~interactive
 
 let cmd =
   let backend =
@@ -348,6 +386,28 @@ let cmd =
              domain instead of spawning domains (results are identical; \
              only the wall-clock changes).")
   in
+  let par_chunk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "par-chunk" ] ~docv:"N"
+          ~doc:
+            "Attach a data-parallel worker pool to the session and split \
+             par-map/par-reduce/par-for-each work into chunks of $(docv) \
+             items.  The pool has --jobs worker shards (one OCaml domain \
+             each unless --sequential), scheduled by one-shot-continuation \
+             fibers with work stealing between shards.")
+  in
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:
+            "With --par-chunk, disable work stealing: chunk $(i,i) is \
+             pinned to shard $(i,i) mod --jobs, making per-shard \
+             deterministic counters reproducible; for counter pinning and \
+             differential testing.")
+  in
   let exprs =
     Arg.(
       value & opt_all string []
@@ -361,7 +421,7 @@ let cmd =
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
       $ stats_flag $ disassemble $ optimize $ no_peephole $ no_regalloc $ jobs
-      $ sequential $ exprs $ files)
+      $ sequential $ par_chunk $ no_steal $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

@@ -1,0 +1,136 @@
+(* The Scheme half of the data-parallel layer (DESIGN.md §15).
+
+   Two groups of definitions, both loaded into every session:
+
+   - the user surface [par-map] / [par-reduce] / [par-for-each], which
+     gates on [(%par-jobs)]: 0 means no pool is attached and selects
+     the serial fallback, so plain sessions, the oracle, and the worker
+     shards themselves (which must never recurse into the pool) all
+     degenerate to map/fold-left/for-each;
+
+   - the per-chunk driver [%par-run-chunk] that the pool's workers
+     evaluate for each task.  A map/for-each chunk of n items runs as n
+     preemptive fibers under the mini-scheduler below — the paper's E2
+     round-robin scheduler (threads.ml) specialized to a fixed task
+     set: switches are captured with the one-shot operator, the
+     preemption point is the fuel timer, and the switch path is
+     closure-free.  Each switch is noted in the session's par-switches
+     counter through [%par-switch!].  A reduce chunk is a plain
+     fold-left (the fold is serial by construction); the cross-chunk
+     combine happens in [par-reduce] on the master, so [op] must be
+     associative with [init] its identity. *)
+
+let source =
+  {scheme|
+;; ---------------------------------------------------------------------
+;; User surface: gate on (%par-jobs), fall back to the serial library.
+;; ---------------------------------------------------------------------
+
+(define (par-map f xs)
+  (if (> (%par-jobs) 0)
+      (%par-dispatch 'map f xs)
+      (map f xs)))
+
+(define (par-for-each f xs)
+  (if (> (%par-jobs) 0)
+      (begin (%par-dispatch 'for-each f xs) (if #f #f))
+      (for-each f xs)))
+
+;; (par-reduce op init xs): op must be associative with init as its
+;; identity — each chunk folds (fold-left op init chunk) on its shard,
+;; and the per-chunk partials are folded again here, so op sees init
+;; once per chunk plus once for the final combine.
+(define (par-reduce op init xs)
+  (if (> (%par-jobs) 0)
+      (fold-left op init (%par-dispatch 'reduce op init xs))
+      (fold-left op init xs)))
+
+;; ---------------------------------------------------------------------
+;; In-chunk fiber scheduler (workers only).  Same FIFO-queue +
+;; closure-free switch discipline as the E2 thread scheduler; the task
+;; set is fixed (the chunk's items), each fiber stores its result slot
+;; and exits through %par-task-done, and the whole chunk escapes
+;; through the one-shot %par-done when the queue drains.
+;; ---------------------------------------------------------------------
+
+(define %par-freq 64)      ; procedure calls per fiber time slice
+(define %par-qf '())       ; ready queue, front/back lists
+(define %par-qb '())
+(define %par-done #f)      ; one-shot exit of the running chunk
+
+(define (%par-switch-k k)
+  ;; Preempted fiber k goes to the back of the queue; resume the next
+  ;; one inline (two procedure calls per switch, no allocation beyond
+  ;; the one-shot capture itself).
+  (%par-switch!)
+  (set! %par-qb (cons k %par-qb))
+  (%par-next))
+
+(define (%par-handler)
+  (%call/1cc %par-switch-k))
+
+(define (%par-next)
+  (if (null? %par-qf)
+      (if (null? %par-qb)
+          (%par-done #f)
+          (begin (set! %par-qf (reverse %par-qb))
+                 (set! %par-qb '()))))
+  (let ((t (car %par-qf)))
+    (set! %par-qf (cdr %par-qf))
+    (%set-timer! %par-freq %par-handler)
+    (t #f)))
+
+(define (%par-task-done)
+  (%set-timer! 0 %par-handler)
+  (%par-next))
+
+;; Run (f item) for every element of the items vector as preemptive
+;; fibers; the results vector is filled in item order (the order fibers
+;; *complete* in depends on preemption, the slots do not).
+(define (%par-fibers f items)
+  (let* ((n (vector-length items))
+         (results (make-vector n #f)))
+    (set! %par-qf '())
+    (set! %par-qb '())
+    (let build ((i (- n 1)))
+      (if (>= i 0)
+          (begin
+            (set! %par-qf
+                  (cons (lambda (ignored)
+                          (vector-set! results i (f (vector-ref items i)))
+                          (%par-task-done))
+                        %par-qf))
+            (build (- i 1)))))
+    (%call/1cc
+     (lambda (alldone)
+       (set! %par-done alldone)
+       (%par-next)))
+    results))
+
+;; ---------------------------------------------------------------------
+;; Chunk driver.  The pool defines %par-args (vector of chunk items,
+;; already rebuilt in this shard's heap) and, for reduce, %par-init,
+;; then evaluates (%par-run-chunk 'mode f).  The whole chunk runs under
+;; an error handler so a failing task (a) disarms the preemption timer
+;; before anything escapes — no stale timer can fire into a dead
+;; scheduler on the next chunk — and (b) reports the error in-band as
+;; a flat value the pool ships back to the master.
+;; ---------------------------------------------------------------------
+
+(define %par-args (vector))
+(define %par-init #f)
+
+(define (%par-run-chunk mode f)
+  (call-with-error-handler
+   (lambda (msg irritants)
+     (%set-timer! 0 %par-handler)
+     (vector '%par-error msg))
+   (lambda ()
+     (vector '%par-ok
+             (cond ((eq? mode 'map) (%par-fibers f %par-args))
+                   ((eq? mode 'for-each)
+                    (begin (%par-fibers f %par-args) #t))
+                   ((eq? mode 'reduce)
+                    (fold-left f %par-init (vector->list %par-args)))
+                   (else (error 'par "unknown mode" mode)))))))
+|scheme}

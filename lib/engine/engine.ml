@@ -93,6 +93,14 @@ let create ?stats pol =
       vm.timer <- (if ticks <= 0 then -1 else ticks);
       Void);
   pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
+  (* Fiber-switch accounting for the data-parallel layer: the in-chunk
+     scheduler (lib/corpus par prelude) notes each one-shot task switch
+     here.  Per-machine for the same reason as the timer accessors — it
+     writes this vm's counter block — and gated like the other hot-path
+     counters. *)
+  pure "%par-switch!" (Exactly 0) (fun _ ->
+      if stats.enabled then stats.par_switches <- stats.par_switches + 1;
+      Void);
   vm
 
 let stats vm = vm.stats

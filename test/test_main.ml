@@ -17,4 +17,5 @@ let () =
       ("perf-counters", Test_perf_counters.suite);
       ("engine", Test_engine.suite);
       ("differential", Test_diff.suite);
+      ("par", Test_par.suite);
     ]
