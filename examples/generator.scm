@@ -1,0 +1,40 @@
+; A tree generator built from one-shot continuations: each suspension
+; point captures the rest of the walk with call/1cc and hands control
+; back to the consumer, which later resumes it -- every continuation is
+; captured once and invoked once, the one-shot discipline the paper's
+; shot records enforce for free.  Clean under `schemer --lint`: each
+; receiver body either escapes only or invokes its continuation on a
+; single path.
+
+(define (make-tree-generator tree)
+  (define resume #f)
+  (define return #f)
+  (define (walk t)
+    (if (pair? t)
+        (begin (walk (car t)) (walk (cdr t)))
+        (call/1cc
+         (lambda (k)
+           (set! resume k)
+           (return t)))))
+  (define (start)
+    (walk tree)
+    (return 'done))
+  (lambda ()
+    (call/1cc
+     (lambda (caller)
+       (set! return caller)
+       (if resume
+           (let ((k resume))
+             (set! resume #f)
+             (k #f))
+           (start))))))
+
+(define gen (make-tree-generator '((1 . 2) . (3 . (4 . 5)))))
+
+(let loop ((leaf (gen)))
+  (if (eq? leaf 'done)
+      (newline)
+      (begin
+        (display leaf)
+        (display " ")
+        (loop (gen)))))

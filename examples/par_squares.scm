@@ -1,0 +1,18 @@
+; Data-parallel map/reduce over flat data.  Without --par-chunk the
+; par-* operators run on the serial fallback, so this file works on any
+; backend; with `--par-chunk N --jobs M` the same source fans chunks out
+; to worker shards.  All quoted arguments are flat (proper lists of
+; immediates), so this file is clean under `schemer --lint`.
+
+(define (square x) (* x x))
+
+(display (par-map square '(1 2 3 4 5 6 7 8)))
+(newline)
+
+(display (par-reduce + 0 (par-map square '(1 2 3 4 5 6 7 8))))
+(newline)
+
+(par-for-each
+ (lambda (pair-sum) (display pair-sum) (display " "))
+ (par-map (lambda (n) (+ n n)) '(10 20 30)))
+(newline)

@@ -1288,10 +1288,10 @@ let run_program ?fuel (vm : t) codes =
    top-level form is template-compiled before execution starts, so the
    measured run performs no compilation (runtime-generated code — [eval]
    the Scheme special — still compiles on demand in [relaunch]). *)
-let eval ?fuel ?optimize ?peephole ?regalloc (vm : t) src =
+let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : t) src =
   let codes =
-    Compiler.compile_string ?optimize ?peephole ?regalloc ~menv:vm.menv
-      vm.globals src
+    Compiler.compile_string ?optimize ?peephole ?regalloc ?verify
+      ~menv:vm.menv vm.globals src
   in
   List.iter
     (fun c ->

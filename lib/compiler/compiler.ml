@@ -360,8 +360,10 @@ let compile_eval ?menv globals (datum : Rt.value) : Rt.code =
         (Array.of_list (List.rev !instrs))
 
 let compile_string ?(optimize = false) ?(peephole = true) ?(regalloc = true)
-    ?menv globals src =
+    ?(verify = false) ?menv globals src =
   let tops = Expander.expand_string ?menv src in
   let tops = if optimize then Optimize.program tops else tops in
   let codes = compile_program globals tops in
-  if peephole then Optimize.peephole_program ~regalloc codes else codes
+  let codes = if peephole then Optimize.peephole_program ~regalloc codes else codes in
+  if verify then Verify.verify_program codes;
+  codes

@@ -27,6 +27,7 @@ val compile_string :
   ?optimize:bool ->
   ?peephole:bool ->
   ?regalloc:bool ->
+  ?verify:bool ->
   ?menv:Macro.menv ->
   Globals.t ->
   string ->
@@ -41,7 +42,10 @@ val compile_string :
     [regalloc] (default [true]) controls the register-lowering stage of
     that pass (operand-addressed [Prim_*_op]/[Return_op] forms); pass
     [~regalloc:false] to keep the push-based encoding while retaining
-    the other fusions.  Ignored when [peephole] is [false]. *)
+    the other fusions.  Ignored when [peephole] is [false].
+    [verify] (default [false]) runs the {!Verify} static bytecode
+    verifier over every compiled code object (after fusion), raising
+    [Verify.Error] on any violated invariant. *)
 
 val compile_eval : ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
 (** Compile a runtime datum for [(eval datum)]: a single zero-argument

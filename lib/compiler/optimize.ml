@@ -448,6 +448,11 @@ let rec peephole ?(regalloc = true) (c : Rt.code) : Rt.code =
         | i -> i)
       instrs
   in
+  (* Fusion bypasses [make_code], so re-run the structural validation
+     here: the rewritten stream must still satisfy the unsafe-fetch
+     invariants (and the landing-pad/operand-range checks validate added
+     for the fused forms). *)
+  Bytecode.validate ~name:c.Rt.cname ~frame_words:c.Rt.frame_words instrs;
   let c' = { c with Rt.instrs } in
   Bytecode.backpatch c';
   c'

@@ -698,7 +698,7 @@ let run ?(fuel = -1) (vm : Policy.t) code =
 let run_program ?fuel (vm : Policy.t) codes =
   List.fold_left (fun _ code -> run ?fuel vm code) Void codes
 
-let eval ?fuel ?optimize ?peephole ?regalloc (vm : Policy.t) src =
+let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : Policy.t) src =
   run_program ?fuel vm
-    (Compiler.compile_string ?optimize ?peephole ?regalloc ~menv:vm.menv
-       vm.globals src)
+    (Compiler.compile_string ?optimize ?peephole ?regalloc ?verify
+       ~menv:vm.menv vm.globals src)

@@ -35,6 +35,7 @@ val eval :
   ?optimize:bool ->
   ?peephole:bool ->
   ?regalloc:bool ->
+  ?verify:bool ->
   t ->
   string ->
   Rt.value

@@ -18,13 +18,35 @@ let transfers_control = function
   | Return_op _ | Prim_tail1_op _ | Prim_tail2_op _ -> true
   | _ -> false
 
-let validate ~name instrs =
+let validate ~name ~frame_words instrs =
   let n = Array.length instrs in
   if n = 0 then invalid_arg (name ^ ": empty instruction stream");
   if not (transfers_control instrs.(n - 1)) then
     invalid_arg (name ^ ": code can fall off the end of the instruction stream");
+  (* A two-operand fused form retains its staged second push at pc+1 and
+     the original consumer at pc+2 as the deopt landing pad.  Entering
+     that pad at pc+1 would restage only the second operand and run the
+     consumer with the first argument slot holding garbage, so no branch
+     may target the pad's interior (targeting the consumer itself is
+     fine — that is the fully de-fused form). *)
+  let pad_interior = Array.make n false in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Prim_call2_op _ | Prim_branch2_op _ | Prim_tail2_op _ ->
+          if pc + 1 < n then pad_interior.(pc + 1) <- true
+      | _ -> ())
+    instrs;
+  let check_operand = function
+    | Op_local i when i < 0 || i >= frame_words ->
+        invalid_arg
+          (Printf.sprintf "%s: operand index %d out of frame (frame-words=%d)"
+             name i frame_words)
+    | Op_local _ | Op_acc | Op_const _ -> ()
+  in
   Array.iter
-    (function
+    (fun instr ->
+      (match instr with
       | Branch t | Branch_false t
       | Local_branch_false (_, t)
       | Prim_branch1 (_, t)
@@ -32,7 +54,23 @@ let validate ~name instrs =
       | Prim_branch1_op (_, _, t)
       | Prim_branch2_op (_, _, _, t) ->
           if t < 0 || t >= n then
-            invalid_arg (Printf.sprintf "%s: branch target %d out of range" name t)
+            invalid_arg (Printf.sprintf "%s: branch target %d out of range" name t);
+          if pad_interior.(t) then
+            invalid_arg
+              (Printf.sprintf "%s: branch target %d lands inside a fused landing pad"
+                 name t)
+      | _ -> ());
+      match instr with
+      | Prim_call1_op (_, a)
+      | Prim_branch1_op (_, a, _)
+      | Prim_tail1_op (_, a)
+      | Return_op a ->
+          check_operand a
+      | Prim_call2_op (_, a, b)
+      | Prim_branch2_op (_, a, b, _)
+      | Prim_tail2_op (_, a, b) ->
+          check_operand a;
+          check_operand b
       | _ -> ())
     instrs
 
@@ -65,7 +103,7 @@ let backpatch code =
     code.instrs
 
 let make_code ~name ~arity ~frame_words instrs =
-  validate ~name instrs;
+  validate ~name ~frame_words instrs;
   let code =
     { instrs; cname = name; arity; frame_words; timer_ret = Void;
       templ = No_template }

@@ -1,5 +1,18 @@
 (** Helpers over compiled code objects: construction and disassembly. *)
 
+val transfers_control : Rt.instr -> bool
+(** Does the instruction unconditionally leave the current pc (so that
+    falling through to pc+1 is impossible)? *)
+
+val validate : name:string -> frame_words:int -> Rt.instr array -> unit
+(** The structural checks {!make_code} runs: non-empty stream, final
+    instruction transfers control, branch targets in range and never
+    into the interior of a two-operand fused form's landing pad (the
+    retained staged push at pc+1), operand indices within
+    [frame_words].  Re-run by the peephole fuser after it rewrites an
+    instruction array in place.
+    @raise Invalid_argument naming the code and the violation. *)
+
 val make_code :
   name:string ->
   arity:Rt.arity ->
@@ -23,6 +36,9 @@ val arity_matches : Rt.arity -> int -> bool
 (** Does a call with [n] arguments satisfy the arity? *)
 
 val arity_to_string : Rt.arity -> string
+
+val operand_to_string : Rt.operand -> string
+(** [acc], [l<i>], or the written constant. *)
 
 val instr_to_string : Rt.instr -> string
 (** One-line rendering of a single instruction, as used by the

@@ -99,9 +99,10 @@ and instr =
   | Call of call_site                    (* callee at frame.(disp+1), args at
                                             frame.(disp+2 ..); pushes the
                                             interned Retaddr at frame.(disp) *)
-  | Tail_call of { disp : int; nargs : int } (* args at frame.(disp+1 ..),
-                                            callee at frame.(disp+nargs+1);
-                                            shifts args down to frame.(1..) *)
+  | Tail_call of { disp : int; nargs : int } (* callee at frame.(disp+1), args
+                                            at frame.(disp+2 ..) — the Call
+                                            layout; shifts callee+args down to
+                                            frame.(1 ..) before entering *)
   | Return                               (* return acc via frame.(0) *)
   | Enter                                (* procedure prologue: arity check,
                                             rest-arg collection, overflow

@@ -35,6 +35,7 @@ type t = {
   optimize : bool;
   peephole : bool;
   regalloc : bool;
+  verify : bool;
   mutable par : parpool option;
 }
 
@@ -55,6 +56,7 @@ and parpool = {
   p_optimize : bool;
   p_peephole : bool;
   p_regalloc : bool;
+  p_verify : bool;
   p_lock : Mutex.t;
   p_cond : Condition.t;
   mutable p_log : string list; (* master-evaluated definition forms, newest
@@ -80,18 +82,18 @@ let eval_machine ?fuel t src =
   match t.machine with
   | M_stack vm ->
       Vm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
-        ~regalloc:t.regalloc vm src
+        ~regalloc:t.regalloc ~verify:t.verify vm src
   | M_closure vm ->
       Closurevm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
-        ~regalloc:t.regalloc vm src
+        ~regalloc:t.regalloc ~verify:t.verify vm src
   | M_heap vm ->
       Heapvm.eval ?fuel ~optimize:t.optimize ~peephole:t.peephole
-        ~regalloc:t.regalloc vm src
+        ~regalloc:t.regalloc ~verify:t.verify vm src
   | M_oracle o -> Oracle.eval ?fuel o src
 
 let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     ?(scheme_winders = false) ?(corpus = false) ?(optimize = false)
-    ?(peephole = true) ?(regalloc = true) () =
+    ?(peephole = true) ?(regalloc = true) ?(verify = false) () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let machine =
     match backend with
@@ -101,7 +103,8 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     | Oracle -> M_oracle (Oracle.create ~stats ())
   in
   let t =
-    { which = backend; machine; stats; optimize; peephole; regalloc; par = None }
+    { which = backend; machine; stats; optimize; peephole; regalloc; verify;
+      par = None }
   in
   if prelude then begin
     ignore
@@ -195,7 +198,7 @@ let par_worker_session pool i =
   in
   let s =
     create ~backend ~stats ~optimize:pool.p_optimize ~peephole:pool.p_peephole
-      ~regalloc:pool.p_regalloc ()
+      ~regalloc:pool.p_regalloc ~verify:pool.p_verify ()
   in
   if pool.p_corpus then load_corpus s;
   Stats.reset stats;
@@ -550,6 +553,7 @@ let par_attach ?(chunk = 2) ?(steal = true) ?(domains = true) ?fuel
       p_optimize = t.optimize;
       p_peephole = t.peephole;
       p_regalloc = t.regalloc;
+      p_verify = t.verify;
       p_lock = Mutex.create ();
       p_cond = Condition.create ();
       p_log = [];
@@ -637,21 +641,24 @@ module Pool = struct
      prelude/corpus load so each shard reports the measured program
      alone, making per-shard counters comparable with a single
      sequential session running the same source. *)
-  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc i src =
+  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify i
+      src =
     let stats = Stats.create () in
-    let t = create ~backend ~stats ~optimize ~peephole ~regalloc () in
+    let t = create ~backend ~stats ~optimize ~peephole ~regalloc ~verify () in
     if corpus then load_corpus t;
     Stats.reset stats;
     let value = eval ?fuel t src in
     { shard = i; value; output = output t; stats }
 
   let run ?(backend = Stack Control.default_config) ?fuel ?(corpus = false)
-      ?(optimize = false) ?(peephole = true) ?(regalloc = true) ?domains ~jobs
+      ?(optimize = false) ?(peephole = true) ?(regalloc = true)
+      ?(verify = false) ?domains ~jobs
       src =
     let jobs = max 1 jobs in
     let parallel = match domains with Some b -> b | None -> jobs > 1 in
     let go i =
-      run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc i src
+      run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify i
+        src
     in
     let idx = List.init jobs Fun.id in
     if parallel then

@@ -22,7 +22,7 @@ type t
 val create :
   ?backend:backend -> ?stats:Stats.t -> ?prelude:bool ->
   ?scheme_winders:bool -> ?corpus:bool -> ?optimize:bool ->
-  ?peephole:bool -> ?regalloc:bool -> unit -> t
+  ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> unit -> t
 (** Defaults: [Stack Control.default_config], prelude loaded with the
     native winder protocol ([?scheme_winders:true] loads the historical
     Scheme-level [%winders] implementation instead, for differential
@@ -30,7 +30,10 @@ val create :
     (see {!Optimize}), bytecode peephole fusion on ([?peephole:false]
     executes the unfused bytecode, e.g. for differential testing), and
     its register-lowering stage on ([?regalloc:false] keeps the
-    push-based encoding while retaining the other fusions). *)
+    push-based encoding while retaining the other fusions).
+    [?verify:true] runs the {!Verify} static bytecode verifier over
+    every code object the session compiles — prelude and corpus
+    included — raising [Verify.Error] on any violated invariant. *)
 
 val backend : t -> backend
 val eval : ?fuel:int -> t -> string -> Rt.value
@@ -111,8 +114,8 @@ module Pool : sig
 
   val run :
     ?backend:backend -> ?fuel:int -> ?corpus:bool -> ?optimize:bool ->
-    ?peephole:bool -> ?regalloc:bool -> ?domains:bool -> jobs:int ->
-    string -> shard list
+    ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> ?domains:bool ->
+    jobs:int -> string -> shard list
   (** Evaluate [src] on [jobs] fresh sessions and return the shards in
       index order.  [domains] forces the execution mode: [true] spawns
       one domain per shard, [false] runs them sequentially on the

@@ -42,6 +42,7 @@ val eval :
   ?optimize:bool ->
   ?peephole:bool ->
   ?regalloc:bool ->
+  ?verify:bool ->
   t ->
   string ->
   Rt.value

@@ -18,4 +18,8 @@ let () =
       ("engine", Test_engine.suite);
       ("differential", Test_diff.suite);
       ("par", Test_par.suite);
+      ("verify", Test_verify.suite);
+      ("lint", Test_lint.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("disasm", Test_disasm.suite);
     ]
