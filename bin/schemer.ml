@@ -18,6 +18,28 @@ let read_file file =
   close_in ic;
   src
 
+(* Every user-facing failure goes through the one diagnostic surface
+   (DESIGN.md §17): convert the layer exceptions {!Diag.of_exn} cannot
+   see (the compiler and verifier sit above [frontend] in the library
+   graph), then render with the shared printer.  [pos] is the span of
+   the top-level form being processed, used when the exception carries
+   none of its own. *)
+let diag_of_exn ?pos = function
+  | Compiler.Compile_error (msg, p) ->
+      let pos = match p with Some _ -> p | None -> pos in
+      Some (Diag.error ?pos Diag.Compiler msg)
+  | Verify.Error msg -> Some (Diag.error ?pos Diag.Verify msg)
+  | e -> Diag.of_exn ?pos e
+
+(* Print the diagnostic for [e] on stderr; false if [e] is not a
+   pipeline failure (the caller re-raises). *)
+let report_exn ?pos e =
+  match diag_of_exn ?pos e with
+  | Some d ->
+      Printf.eprintf "%s\n%!" (Diag.to_string d);
+      true
+  | None -> false
+
 (* --lint: read and lint, never execute.  Diagnostics print to stdout as
    file:line:col: severity: [rule] message; any diagnostic (or read
    error) makes the exit status 1. *)
@@ -31,10 +53,11 @@ let run_lint ~exprs ~files =
             incr count;
             Printf.printf "%s:%s\n" label (Lint.to_string d))
           ds
-    | exception Sexp.Read_error (msg, pos) ->
+    | exception (Sexp.Read_error _ as e) -> (
         incr count;
-        Printf.printf "%s:%d:%d: error: [read] %s\n" label pos.Sexp.line
-          pos.Sexp.col msg
+        match Diag.of_exn e with
+        | Some d -> Printf.printf "%s:%s\n" label (Diag.to_string d)
+        | None -> assert false)
   in
   List.iter (fun f -> lint_src f (read_file f)) files;
   List.iteri
@@ -47,11 +70,11 @@ let run_lint ~exprs ~files =
    results print in index order, so the output is deterministic either
    way. *)
 let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~verify
-    ~jobs ~sequential ~exprs ~files =
+    ~hygiene ~jobs ~sequential ~exprs ~files =
   let src = String.concat "\n" (List.map read_file files @ exprs) in
   match
     Scheme.Pool.run ~backend ~corpus ~optimize ~peephole ~regalloc ~verify
-      ~domains:(not sequential) ~jobs src
+      ~hygiene ~domains:(not sequential) ~jobs src
   with
   | shards ->
       List.iter
@@ -70,26 +93,19 @@ let run_pool ~backend ~corpus ~stats_flag ~optimize ~peephole ~regalloc ~verify
           end)
         shards;
       0
-  | exception Rt.Scheme_error (msg, irritants) ->
-      Printf.eprintf "error: %s%s\n%!" msg
-        (match irritants with
-        | [] -> ""
-        | vs -> " " ^ String.concat " " (List.map Values.write_string vs));
-      1
-  | exception Rt.Shot_continuation ->
-      Printf.eprintf "error: one-shot continuation invoked twice\n%!";
-      1
-  | exception Verify.Error msg ->
-      Printf.eprintf "verify error: %s\n%!" msg;
-      1
+  | exception e when report_exn e -> 1
 
 let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-    ~optimize ~peephole ~regalloc ~verify ~par ~exprs ~files ~interactive =
+    ~expand_only ~optimize ~peephole ~regalloc ~verify ~hygiene ~par ~exprs
+    ~files ~interactive =
   let stats = Stats.create () in
   let s =
     Scheme.create ~backend ~stats ~scheme_winders ~optimize ~peephole ~regalloc
-      ~verify ()
+      ~verify ~hygiene ()
   in
+  (* --expand keeps its own macro environment so a [define-syntax] in an
+     earlier file/-e chunk is visible to later ones, as in evaluation. *)
+  let expand_menv = Macro.create_menv () in
   if corpus then Scheme.load_corpus s;
   (* --par-chunk attaches a data-parallel worker pool to this single
      session: par-map/par-reduce/par-for-each now fan chunks out to
@@ -103,41 +119,51 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
     let out = Scheme.output s in
     if out <> "" then print_string out
   in
+  (* The chunk is read here and evaluated one top-level datum at a time
+     ({!Scheme.eval_datum}), so every failure — runtime errors included —
+     is reported against the source position of the form that raised it.
+     Earlier forms of a chunk therefore execute before a later form's
+     compile error surfaces.  A reported diagnostic in file/-e input
+     makes the exit status 1 (REPL errors don't — the session goes on). *)
+  let failed = ref false in
   let eval_chunk ~echo src =
-    if disassemble then
-      List.iter
-        (fun code -> print_string (Bytecode.disassemble_deep code))
-        (Compiler.compile_string ~optimize ~peephole ~regalloc ~verify
-           (Scheme.globals s) src)
-    else
-      match Scheme.eval s src with
-      | v ->
-          dump_output ();
-          if echo && v <> Rt.Void then print_endline (Values.write_string v)
-      | exception Rt.Scheme_error (msg, irritants) ->
-          dump_output ();
-          Printf.eprintf "error: %s%s\n%!" msg
-            (match irritants with
-            | [] -> ""
-            | vs ->
-                " "
-                ^ String.concat " " (List.map Values.write_string vs))
-      | exception Rt.Shot_continuation ->
-          dump_output ();
-          Printf.eprintf "error: one-shot continuation invoked twice\n%!"
-      | exception Sexp.Read_error (msg, pos) ->
-          Printf.eprintf "read error at %d:%d: %s\n%!" pos.Sexp.line
-            pos.Sexp.col msg
-      | exception Expander.Expand_error (msg, pos) ->
-          Printf.eprintf "syntax error at %d:%d: %s\n%!" pos.Sexp.line
-            pos.Sexp.col msg
-      | exception Compiler.Compile_error msg ->
-          Printf.eprintf "compile error: %s\n%!" msg
-      | exception Verify.Error msg ->
-          Printf.eprintf "verify error: %s\n%!" msg
+    match Sexp.read_all src with
+    | exception e -> if report_exn e then failed := true
+    | datums -> (
+        try
+          if disassemble then
+            List.iter
+              (fun code -> print_string (Bytecode.disassemble_deep code))
+              (Compiler.compile_string ~optimize ~peephole ~regalloc ~verify
+                 ~hygiene (Scheme.globals s) src)
+          else if expand_only then
+            List.iter
+              (fun d ->
+                List.iter
+                  (fun top -> print_endline (Ast.top_to_string top))
+                  (Expander.expand_tops ~hygiene ~menv:expand_menv d))
+              datums
+          else
+            let rec go = function
+              | [] -> ()
+              | d :: rest -> (
+                  match Scheme.eval_datum s d with
+                  | v ->
+                      dump_output ();
+                      if echo && rest = [] && v <> Rt.Void then
+                        print_endline (Values.write_string v);
+                      go rest
+                  | exception e ->
+                      dump_output ();
+                      if report_exn ~pos:(Sexp.pos_of d) e then failed := true
+                      else raise e)
+            in
+            go datums
+        with e -> if report_exn e then failed := true else raise e)
   in
   List.iter (fun file -> eval_chunk ~echo:false (read_file file)) files;
   List.iter (fun e -> eval_chunk ~echo:true e) exprs;
+  let batch_failed = !failed in
   if interactive then begin
     print_endline
       "schemer repl -- segmented-stack Scheme with one-shot continuations";
@@ -200,7 +226,7 @@ let run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
       (Scheme.par_shard_stats s)
   end;
   if par <> None then Scheme.par_shutdown s;
-  0
+  if batch_failed then 1 else 0
 
 let backend_conv =
   Arg.enum
@@ -222,8 +248,8 @@ let capture_conv =
 
 let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     no_cache promotion capture scheme_winders corpus stats_flag disassemble
-    optimize no_peephole no_regalloc verify lint jobs sequential par_chunk
-    no_steal exprs files =
+    expand_only no_hygiene optimize no_peephole no_regalloc verify lint jobs
+    sequential par_chunk no_steal exprs files =
   let config =
     {
       Control.default_config with
@@ -248,6 +274,7 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
     | `Oracle -> Scheme.Oracle
   in
   let interactive = exprs = [] && files = [] in
+  let hygiene = not no_hygiene in
   if lint then run_lint ~exprs ~files
   else
   match par_chunk with
@@ -263,19 +290,20 @@ let main backend_kind seg_words copy_bound overflow hysteresis seal_disp
          session (par-map fan-out), as opposed to --jobs alone, which
          replicates the whole program across independent sessions. *)
       run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-        ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
-        ~verify
+        ~expand_only ~optimize ~peephole:(not no_peephole)
+        ~regalloc:(not no_regalloc) ~verify ~hygiene
         ~par:(Some (chunk, not no_steal, not sequential, jobs))
         ~exprs ~files ~interactive
   | None ->
       if jobs > 1 then
         run_pool ~backend ~corpus ~stats_flag ~optimize
           ~peephole:(not no_peephole) ~regalloc:(not no_regalloc) ~verify
-          ~jobs ~sequential ~exprs ~files
+          ~hygiene ~jobs ~sequential ~exprs ~files
       else
         run_session ~backend ~scheme_winders ~corpus ~stats_flag ~disassemble
-          ~optimize ~peephole:(not no_peephole) ~regalloc:(not no_regalloc)
-          ~verify ~par:None ~exprs ~files ~interactive
+          ~expand_only ~optimize ~peephole:(not no_peephole)
+          ~regalloc:(not no_regalloc) ~verify ~hygiene ~par:None ~exprs ~files
+          ~interactive
 
 let cmd =
   let backend =
@@ -369,6 +397,23 @@ let cmd =
       value & flag
       & info [ "disassemble" ]
           ~doc:"Print bytecode instead of evaluating.")
+  in
+  let expand_only =
+    Arg.(
+      value & flag
+      & info [ "expand" ]
+          ~doc:
+            "Print the expanded core forms (one per line) instead of \
+             evaluating; hygiene-marked identifiers render as name#n.")
+  in
+  let no_hygiene =
+    Arg.(
+      value & flag
+      & info [ "no-hygiene" ]
+          ~doc:
+            "Turn off hygienic syntax-rules expansion (template-introduced \
+             identifiers get no fresh marks), reproducing the historical \
+             textual expansion; for differential testing.")
   in
   let optimize =
     Arg.(
@@ -465,9 +510,9 @@ let cmd =
     Term.(
       const main $ backend $ seg_words $ copy_bound $ overflow $ hysteresis
       $ seal_disp $ no_cache $ promotion $ capture $ scheme_winders $ corpus
-      $ stats_flag $ disassemble $ optimize $ no_peephole $ no_regalloc
-      $ verify $ lint $ jobs $ sequential $ par_chunk $ no_steal $ exprs
-      $ files)
+      $ stats_flag $ disassemble $ expand_only $ no_hygiene $ optimize
+      $ no_peephole $ no_regalloc $ verify $ lint $ jobs $ sequential
+      $ par_chunk $ no_steal $ exprs $ files)
   in
   Cmd.v
     (Cmd.info "schemer" ~version:"1.0"

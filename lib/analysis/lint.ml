@@ -36,19 +36,14 @@
      canonical offender — would raise [Not_flat] at the shard boundary
      at runtime; reported as an error at the offending sub-datum. *)
 
-type severity = Warning | Error
+(* Lint reports in the pipeline-wide diagnostic currency (DESIGN.md
+   §17): a lint finding is a [Diag.t] whose layer is [Lint] and whose
+   [rule] slug names the rule family, rendered by the one shared
+   printer. *)
+type severity = Diag.severity = Error | Warning
+type diagnostic = Diag.t
 
-type diagnostic = {
-  d_pos : Sexp.pos;
-  d_severity : severity;
-  d_rule : string;
-  d_message : string;
-}
-
-let to_string d =
-  Printf.sprintf "%d:%d: %s: [%s] %s" d.d_pos.Sexp.line d.d_pos.Sexp.col
-    (match d.d_severity with Warning -> "warning" | Error -> "error")
-    d.d_rule d.d_message
+let to_string = Diag.to_string
 
 (* Standard pure primitives assumed fusable when no global table is
    supplied (matching the prelude's bindings); with [?globals] the
@@ -73,9 +68,7 @@ type st = {
 }
 
 let report st pos severity rule message =
-  st.diags <-
-    { d_pos = pos; d_severity = severity; d_rule = rule; d_message = message }
-    :: st.diags
+  st.diags <- Diag.make ~severity ~rule ~pos Diag.Lint message :: st.diags
 
 let bound env name = List.mem_assoc name env
 
@@ -520,10 +513,15 @@ let program ?globals (tops : Sexp.t list) : diagnostic list =
       | _ -> ())
     tops;
   List.iter (walk st []) tops;
+  let pos_of (d : Diag.t) =
+    match d.Diag.pos with
+    | Some p -> p
+    | None -> { Sexp.line = 0; col = 0 }
+  in
   List.sort
     (fun a b ->
-      match compare a.d_pos.Sexp.line b.d_pos.Sexp.line with
-      | 0 -> compare a.d_pos.Sexp.col b.d_pos.Sexp.col
+      match compare (pos_of a).Sexp.line (pos_of b).Sexp.line with
+      | 0 -> compare (pos_of a).Sexp.col (pos_of b).Sexp.col
       | c -> c)
     st.diags
 

@@ -18,14 +18,12 @@
       [par-reduce] argument containing a non-flat datum that cannot
       cross the par shard boundary (error). *)
 
-type severity = Warning | Error
+type severity = Diag.severity = Error | Warning
 
-type diagnostic = {
-  d_pos : Sexp.pos;
-  d_severity : severity;
-  d_rule : string;  (** stable rule slug, e.g. ["multi-shot-1cc"] *)
-  d_message : string;
-}
+type diagnostic = Diag.t
+(** A lint finding is an ordinary pipeline diagnostic (layer
+    {!Diag.Lint}) whose [rule] field carries the stable rule slug,
+    e.g. ["multi-shot-1cc"]. *)
 
 val program : ?globals:Globals.t -> Sexp.t list -> diagnostic list
 (** Lint a program (list of toplevel datums).  When [globals] is
@@ -39,4 +37,5 @@ val lint_string : ?globals:Globals.t -> string -> diagnostic list
     @raise Sexp.Read_error on malformed input. *)
 
 val to_string : diagnostic -> string
-(** Render as ["line:col: severity: [rule] message"]. *)
+(** Render as ["line:col: severity: [rule] message"] — the shared
+    {!Diag.to_string}. *)

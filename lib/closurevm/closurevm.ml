@@ -78,6 +78,17 @@ let[@inline] sync (vm : t) steps pc acc =
     stats.Stats.instrs <- stats.Stats.instrs + steps;
   if vm.fuel >= 0 then vm.fuel <- vm.fuel - steps
 
+(* Resolve a global slot against the running session's cell table (same
+   helper as the engine template's [gcell]: one bounds test, unsafe load
+   on the hit path; the miss path grows the table).  Resolution happens
+   at step *execution*, never at template build: a template is cached on
+   the code object and may be shared across sessions (the prelude
+   image), each of which has its own cells. *)
+let[@inline] gcell (vm : t) slot =
+  let cells = vm.globals.Globals.cells in
+  if slot < Array.length cells then Array.unsafe_get cells slot
+  else Globals.get vm.globals slot
+
 (* The guarded-primitive fast path's two counters. *)
 let[@inline] prim_fast_stats (vm : t) =
   let stats = vm.stats in
@@ -130,6 +141,8 @@ let cache_sentinel =
     frame_words = max_int;
     timer_ret = Void;
     templ = No_template;
+    cline = 0;
+    ccol = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -254,28 +267,31 @@ and emit arr instrs (code : code) pc : step =
         | v ->
             sync vm (steps + 1) (pc + 1) acc;
             Values.err "vm: free-box-set outside closure" [ v ])
-  | Global_ref g ->
+  | Global_ref s ->
       let k = arr.(pc + 1) in
       fun vm slots fp limit budget acc steps ->
+        let g = gcell vm s in
         if g.gdefined then k vm slots fp limit budget g.gval (steps + 1)
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          Values.err ("unbound variable: " ^ g.gname) []
+          Values.err ("unbound variable: " ^ Globals.slot_name s) []
         end
-  | Global_set g ->
+  | Global_set s ->
       let k = arr.(pc + 1) in
       fun vm slots fp limit budget acc steps ->
+        let g = gcell vm s in
         if g.gdefined then begin
           g.gval <- acc;
           k vm slots fp limit budget acc (steps + 1)
         end
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          Values.err ("set! of unbound variable: " ^ g.gname) []
+          Values.err ("set! of unbound variable: " ^ Globals.slot_name s) []
         end
-  | Global_define g ->
+  | Global_define s ->
       let k = arr.(pc + 1) in
       fun vm slots fp limit budget acc steps ->
+        let g = gcell vm s in
         g.gval <- acc;
         g.gdefined <- true;
         k vm slots fp limit budget acc (steps + 1)
@@ -561,7 +577,7 @@ and emit arr instrs (code : code) pc : step =
         | v ->
             sync vm (steps + 1) (pc + 1) acc;
             Values.err "vm: free-push outside closure" [ v ])
-  | Global_push (g, i) -> (
+  | Global_push (s, i) -> (
       (* Call setup usually pushes the callee global then its arguments:
          fuse the first argument push in.  The unbound-global error syncs
          only the first instruction, exactly as unfused execution
@@ -570,6 +586,7 @@ and emit arr instrs (code : code) pc : step =
       | Const_push (v2, i2) ->
           let k = arr.(pc + 2) in
           fun vm slots fp limit budget acc steps ->
+            let g = gcell vm s in
             if g.gdefined then begin
               slots.(fp + i) <- g.gval;
               slots.(fp + i2) <- v2;
@@ -577,11 +594,12 @@ and emit arr instrs (code : code) pc : step =
             end
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              Values.err ("unbound variable: " ^ g.gname) []
+              Values.err ("unbound variable: " ^ Globals.slot_name s) []
             end
       | Local_push (s2, i2) ->
           let k = arr.(pc + 2) in
           fun vm slots fp limit budget acc steps ->
+            let g = gcell vm s in
             if g.gdefined then begin
               slots.(fp + i) <- g.gval;
               slots.(fp + i2) <- slots.(fp + s2);
@@ -589,18 +607,19 @@ and emit arr instrs (code : code) pc : step =
             end
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              Values.err ("unbound variable: " ^ g.gname) []
+              Values.err ("unbound variable: " ^ Globals.slot_name s) []
             end
       | _ ->
           let k = arr.(pc + 1) in
           fun vm slots fp limit budget acc steps ->
+            let g = gcell vm s in
             if g.gdefined then begin
               slots.(fp + i) <- g.gval;
               k vm slots fp limit budget acc (steps + 1)
             end
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              Values.err ("unbound variable: " ^ g.gname) []
+              Values.err ("unbound variable: " ^ Globals.slot_name s) []
             end)
   | Prim_call site ->
       let k = arr.(pc + 1) in
@@ -608,7 +627,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             let stats = vm.stats in
             if stats.Stats.enabled then begin
               stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -637,7 +656,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(1) in
                 args.(0) <- slots.(fp + argd);
@@ -656,7 +675,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(1) in
                 args.(0) <- slots.(fp + argd);
@@ -677,7 +696,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(2) in
                 let base = fp + argd in
@@ -698,7 +717,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 1) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(2) in
                 let base = fp + argd in
@@ -731,7 +750,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             let stats = vm.stats in
             if stats.Stats.enabled then begin
               stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -759,7 +778,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             let stats = vm.stats in
             if stats.Stats.enabled then begin
               stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -785,7 +804,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 1) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             let stats = vm.stats in
             if stats.Stats.enabled then begin
               stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -835,7 +854,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 2) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(1) in
                 args.(0) <- load_op slots fp acc a;
@@ -851,7 +870,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 2) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(1) in
                 args.(0) <- load_op slots fp acc a;
@@ -869,7 +888,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 3) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(2) in
                 args.(0) <- load_op slots fp acc a;
@@ -886,7 +905,7 @@ and emit arr instrs (code : code) pc : step =
             if steps >= budget then fuel_stop vm steps pc acc
             else begin
               sync vm (steps + 1) (pc + 3) acc;
-              if site.ps_global.gval == site.ps_guard then begin
+              if (gcell vm site.ps_slot).gval == site.ps_guard then begin
                 prim_fast_stats vm;
                 let args = vm.scratch.(2) in
                 args.(0) <- load_op slots fp acc a;
@@ -903,7 +922,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 2) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             prim_fast_stats vm;
             let args = vm.scratch.(1) in
             args.(0) <- load_op slots fp acc a;
@@ -926,7 +945,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 3) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             prim_fast_stats vm;
             let args = vm.scratch.(2) in
             args.(0) <- load_op slots fp acc a;
@@ -946,7 +965,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 2) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             prim_fast_stats vm;
             let args = vm.scratch.(1) in
             args.(0) <- load_op slots fp acc a;
@@ -965,7 +984,7 @@ and emit arr instrs (code : code) pc : step =
         if steps >= budget then fuel_stop vm steps pc acc
         else begin
           sync vm (steps + 1) (pc + 3) acc;
-          if site.ps_global.gval == site.ps_guard then begin
+          if (gcell vm site.ps_slot).gval == site.ps_guard then begin
             prim_fast_stats vm;
             let args = vm.scratch.(2) in
             args.(0) <- load_op slots fp acc a;
@@ -1044,7 +1063,7 @@ and emit_prim1 arr instrs pc src1 d1 site : step =
       let k = arr.(ppc + 2) in
       fun vm slots fp limit budget acc steps ->
         if steps >= budget then fuel_stop vm steps pc acc
-        else if site.ps_global.gval == site.ps_guard then begin
+        else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
           sync vm (steps + 2) (ppc + 1) acc;
           prim_fast_stats vm;
           let args = vm.scratch.(1) in
@@ -1058,7 +1077,7 @@ and emit_prim1 arr instrs pc src1 d1 site : step =
       let k = arr.(ppc + 1) in
       fun vm slots fp limit budget acc steps ->
         if steps >= budget then fuel_stop vm steps pc acc
-        else if site.ps_global.gval == site.ps_guard then begin
+        else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
           sync vm (steps + 2) (ppc + 1) acc;
           prim_fast_stats vm;
           let args = vm.scratch.(1) in
@@ -1075,7 +1094,7 @@ and emit_prim2 arr instrs pc src1 d1 src2 d2 site : step =
       let k = arr.(ppc + 2) in
       fun vm slots fp limit budget acc steps ->
         if steps >= budget then fuel_stop vm steps pc acc
-        else if site.ps_global.gval == site.ps_guard then begin
+        else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
           sync vm (steps + 3) (ppc + 1) acc;
           prim_fast_stats vm;
           let args = vm.scratch.(2) in
@@ -1090,7 +1109,7 @@ and emit_prim2 arr instrs pc src1 d1 src2 d2 site : step =
       let k = arr.(ppc + 1) in
       fun vm slots fp limit budget acc steps ->
         if steps >= budget then fuel_stop vm steps pc acc
-        else if site.ps_global.gval == site.ps_guard then begin
+        else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
           sync vm (steps + 3) (ppc + 1) acc;
           prim_fast_stats vm;
           let args = vm.scratch.(2) in
@@ -1106,7 +1125,7 @@ and emit_prim_branch1 arr pc src1 d1 site t : step =
   let k = arr.(ppc + 2) in
   fun vm slots fp limit budget acc steps ->
     if steps >= budget then fuel_stop vm steps pc acc
-    else if site.ps_global.gval == site.ps_guard then begin
+    else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
       sync vm (steps + 2) (ppc + 1) acc;
       prim_fast_stats vm;
       let args = vm.scratch.(1) in
@@ -1125,7 +1144,7 @@ and emit_prim_branch2 arr pc src1 d1 src2 d2 site t : step =
   let k = arr.(ppc + 2) in
   fun vm slots fp limit budget acc steps ->
     if steps >= budget then fuel_stop vm steps pc acc
-    else if site.ps_global.gval == site.ps_guard then begin
+    else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
       sync vm (steps + 3) (ppc + 1) acc;
       prim_fast_stats vm;
       let args = vm.scratch.(2) in
@@ -1144,7 +1163,7 @@ and emit_prim_tail1 pc src1 d1 site : step =
   let ppc = pc + 1 in
   fun vm slots fp limit budget acc steps ->
     if steps >= budget then fuel_stop vm steps pc acc
-    else if site.ps_global.gval == site.ps_guard then begin
+    else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
       sync vm (steps + 2) (ppc + 1) acc;
       prim_fast_stats vm;
       let args = vm.scratch.(1) in
@@ -1163,7 +1182,7 @@ and emit_prim_tail2 pc src1 d1 src2 d2 site : step =
   let ppc = pc + 2 in
   fun vm slots fp limit budget acc steps ->
     if steps >= budget then fuel_stop vm steps pc acc
-    else if site.ps_global.gval == site.ps_guard then begin
+    else if (gcell vm site.ps_slot).gval == site.ps_guard then begin
       sync vm (steps + 3) (ppc + 1) acc;
       prim_fast_stats vm;
       let args = vm.scratch.(2) in
@@ -1278,7 +1297,9 @@ let run ?(fuel = -1) (vm : t) code =
   vm.halted <- false;
   vm.fuel <- fuel;
   vm.winders <- [];
-  run_loop vm;
+  (* Route the process-shared timer/output prims at this machine for the
+     extent of the run (restored on exit, so nested runs unwind). *)
+  Machine_hooks.with_hooks vm.hooks (fun () -> run_loop vm);
   vm.acc
 
 let run_program ?fuel (vm : t) codes =
@@ -1288,11 +1309,7 @@ let run_program ?fuel (vm : t) codes =
    top-level form is template-compiled before execution starts, so the
    measured run performs no compilation (runtime-generated code — [eval]
    the Scheme special — still compiles on demand in [relaunch]). *)
-let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : t) src =
-  let codes =
-    Compiler.compile_string ?optimize ?peephole ?regalloc ?verify
-      ~menv:vm.menv vm.globals src
-  in
+let run_compiled ?fuel (vm : t) codes =
   List.iter
     (fun c ->
       List.iter
@@ -1300,6 +1317,18 @@ let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : t) src =
         (Bytecode.collect_codes [] c))
     codes;
   run_program ?fuel vm codes
+
+let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : t) src =
+  run_compiled ?fuel vm
+    (Compiler.compile_string ?optimize ?peephole ?regalloc ?verify
+       ~hygiene:vm.hygiene ~menv:vm.menv vm.globals src)
+
+(* Per-form entry point: one already-read top-level datum, so drivers
+   can attribute failures to the datum's source position. *)
+let eval_datum ?fuel ?optimize ?peephole ?regalloc ?verify (vm : t) d =
+  run_compiled ?fuel vm
+    (Compiler.compile_datum ?optimize ?peephole ?regalloc ?verify
+       ~hygiene:vm.hygiene ~menv:vm.menv vm.globals d)
 
 let create = Vm_policy.create
 let control (vm : t) = vm.Engine.pol
@@ -1318,3 +1347,16 @@ let () =
   List.iter
     (fun c -> ignore (template stats c))
     [ Engine.halt_code; Prims.wind_resume_code; Prims.dw_resume_code ]
+
+(* Eager template compilation for code shared across sessions (the
+   prelude image): the caller is responsible for sequencing this before
+   the codes become visible to other domains (the image cache does it
+   under its build lock). *)
+let precompile codes =
+  let stats = Stats.create ~enabled:false () in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun c' -> ignore (template stats c'))
+        (Bytecode.collect_codes [] c))
+    codes

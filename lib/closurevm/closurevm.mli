@@ -56,5 +56,23 @@ val eval :
     [true]) its register-lowering stage; [optimize] (default [false])
     the AST-level constant folder. *)
 
+val eval_datum :
+  ?fuel:int ->
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  ?verify:bool ->
+  t ->
+  Sexp.t ->
+  Rt.value
+(** Like {!eval} for one already-read top-level datum, so a driver can
+    attribute failures to the datum's source position. *)
+
 val output : t -> string
 (** Text emitted by [display]/[write]/[newline] so far. *)
+
+val precompile : Rt.code list -> unit
+(** Template-compile the whole [Make_closure] DAG of each code object
+    (uncounted), for code shared across sessions: the prelude image
+    compiles its templates once, eagerly, before any other domain can
+    see the code objects. *)

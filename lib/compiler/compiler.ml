@@ -1,6 +1,8 @@
-exception Compile_error of string
+exception Compile_error of string * Sexp.pos option
 
-let fail msg = raise (Compile_error msg)
+(* Internal failures carry no position; [compile_top] attaches the
+   enclosing top-level form's span before the error escapes. *)
+let fail msg = raise (Compile_error (msg, None))
 
 (* ------------------------------------------------------------------ *)
 (* Analysis: unique bindings, capture/assignment flags, free lists     *)
@@ -185,31 +187,34 @@ let gen_set e b =
   | Lfree i, true -> emit e (Rt.Free_box_set i) |> ignore
   | Lfree _, false -> fail "compiler: assignment to unboxed free variable"
 
-let rec gen globals e tail exp =
+let rec gen e tail exp =
   match exp with
   | AQuote v -> ignore (emit e (Rt.Const v))
   | ALocal b -> gen_ref e b
-  | AGlobal x -> ignore (emit e (Rt.Global_ref (Globals.cell globals x)))
+  | AGlobal x ->
+      (* A lexically unbound name refers to its definition environment —
+         the global table — under its source name: strip hygiene marks. *)
+      ignore (emit e (Rt.Global_ref (Globals.slot (Macro.strip_marks x))))
   | ALocalSet (b, rhs) ->
-      gen globals e false rhs;
+      gen e false rhs;
       gen_set e b
   | AGlobalSet (x, rhs) ->
-      gen globals e false rhs;
-      ignore (emit e (Rt.Global_set (Globals.cell globals x)))
+      gen e false rhs;
+      ignore (emit e (Rt.Global_set (Globals.slot (Macro.strip_marks x))))
   | AIf (t, c, a) ->
-      gen globals e false t;
+      gen e false t;
       let jf = emit e (Rt.Branch_false 0) in
-      gen globals e tail c;
+      gen e tail c;
       let jend = emit e (Rt.Branch 0) in
       patch e jf (Rt.Branch_false (here e));
-      gen globals e tail a;
+      gen e tail a;
       patch e jend (Rt.Branch (here e))
   | ABegin es ->
       let rec go = function
         | [] -> ()
-        | [ last ] -> gen globals e tail last
+        | [ last ] -> gen e tail last
         | x :: rest ->
-            gen globals e false x;
+            gen e false x;
             go rest
       in
       go es
@@ -218,7 +223,7 @@ let rec gen globals e tail exp =
       let slots =
         List.map
           (fun (_, init) ->
-            gen globals e false init;
+            gen e false init;
             let slot = reserve e 1 in
             ignore (emit e (Rt.Local_set slot));
             slot)
@@ -229,10 +234,10 @@ let rec gen globals e tail exp =
           Hashtbl.replace e.fmap b.bid (Lslot slot);
           if boxed b then ignore (emit e (Rt.Box_init slot)))
         bindings slots;
-      gen globals e tail body;
+      gen e tail body;
       e.next_slot <- saved
   | ALambda l ->
-      let code, caps = gen_lambda globals l in
+      let code, caps = gen_lambda l in
       let caps =
         Array.of_list
           (List.map
@@ -246,11 +251,11 @@ let rec gen globals e tail exp =
   | AApp (f, args) ->
       let nargs = List.length args in
       let d = reserve e (2 + nargs) in
-      gen globals e false f;
+      gen e false f;
       ignore (emit e (Rt.Local_set (d + 1)));
       List.iteri
         (fun i a ->
-          gen globals e false a;
+          gen e false a;
           ignore (emit e (Rt.Local_set (d + 2 + i))))
         args;
       e.next_slot <- d;
@@ -264,7 +269,7 @@ let rec gen globals e tail exp =
 
 (* Compile one lambda to a code object plus the ordered list of bindings
    its closure must capture from the enclosing frame. *)
-and gen_lambda globals (l : alambda) : Rt.code * binding list =
+and gen_lambda (l : alambda) : Rt.code * binding list =
   let nparams = List.length l.aparams in
   let first_local = 2 + nparams + (match l.arest with Some _ -> 1 | None -> 0) in
   let e = new_emitter first_local in
@@ -283,7 +288,7 @@ and gen_lambda globals (l : alambda) : Rt.code * binding list =
   (match l.arest with
   | Some b when boxed b -> ignore (emit e (Rt.Box_init (2 + nparams)))
   | _ -> ());
-  gen globals e true l.abody;
+  gen e true l.abody;
   ignore (emit e Rt.Return);
   let arity =
     match l.arest with
@@ -300,42 +305,46 @@ and gen_lambda globals (l : alambda) : Rt.code * binding list =
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let compile_expr globals name ast =
+(* Compiled code is session-independent: global accesses are emitted
+   against process-wide slot numbers, so the [Globals.t] argument of the
+   compile entry points is only consulted by the peephole fuser (which
+   snapshots the session's current bindings into inline caches). *)
+let compile_expr (_ : Globals.t) name ast =
   let ctx = new_lctx None None in
   let a = analyze [] ctx ast in
   let e = new_emitter 2 in
   ignore (emit e Rt.Enter);
-  gen globals e true a;
+  gen e true a;
   ignore (emit e Rt.Return);
   Bytecode.make_code ~name ~arity:(Rt.Exactly 0) ~frame_words:e.max_ext
     (Array.sub e.arr 0 e.len)
 
 let compile_top globals (top : Ast.top) =
-  match top with
-  | Ast.Expr ast -> compile_expr globals "top" ast
-  | Ast.Define (x, ast) ->
-      let ctx = new_lctx None None in
-      let a = analyze [] ctx ast in
-      let e = new_emitter 2 in
-      ignore (emit e Rt.Enter);
-      gen globals e false a;
-      ignore (emit e (Rt.Global_define (Globals.cell globals x)));
-      ignore (emit e (Rt.Const Rt.Void));
-      ignore (emit e Rt.Return);
-      Bytecode.make_code ~name:("define-" ^ x) ~arity:(Rt.Exactly 0)
-        ~frame_words:e.max_ext
-        (Array.sub e.arr 0 e.len)
+  try
+    match top with
+    | Ast.Expr (ast, _) -> compile_expr globals "top" ast
+    | Ast.Define (x, ast, _) ->
+        let ctx = new_lctx None None in
+        let a = analyze [] ctx ast in
+        let e = new_emitter 2 in
+        ignore (emit e Rt.Enter);
+        gen e false a;
+        ignore (emit e (Rt.Global_define (Globals.slot x)));
+        ignore (emit e (Rt.Const Rt.Void));
+        ignore (emit e Rt.Return);
+        Bytecode.make_code ~name:("define-" ^ x) ~arity:(Rt.Exactly 0)
+          ~frame_words:e.max_ext
+          (Array.sub e.arr 0 e.len)
+  with Compile_error (msg, None) ->
+    raise (Compile_error (msg, Some (Ast.top_pos top)))
 
 let compile_program globals tops = List.map (compile_top globals) tops
 
 (* (eval datum): compile the datum's top-level forms, then synthesize a
    driver code object that calls each compiled form in sequence. *)
-let compile_eval ?menv globals (datum : Rt.value) : Rt.code =
-  let expand () = Expander.expand_tops (Expander.value_to_datum datum) in
+let compile_eval ?hygiene ?menv globals (datum : Rt.value) : Rt.code =
   let tops =
-    match menv with
-    | Some menv -> Expander.with_menv menv expand
-    | None -> expand ()
+    Expander.expand_tops ?hygiene ?menv (Expander.value_to_datum datum)
   in
   match compile_program globals tops with
   | [ one ] -> one
@@ -359,11 +368,23 @@ let compile_eval ?menv globals (datum : Rt.value) : Rt.code =
       Bytecode.make_code ~name:"eval" ~arity:(Rt.Exactly 0) ~frame_words:(d + 3)
         (Array.of_list (List.rev !instrs))
 
-let compile_string ?(optimize = false) ?(peephole = true) ?(regalloc = true)
-    ?(verify = false) ?menv globals src =
-  let tops = Expander.expand_string ?menv src in
+(* The shared back half of the pipeline: optimize, compile, fuse,
+   verify.  [compile_string] and [compile_datum] differ only in how the
+   expanded tops are obtained. *)
+let compile_tops ?(optimize = false) ?(peephole = true) ?(regalloc = true)
+    ?(verify = false) globals tops =
   let tops = if optimize then Optimize.program tops else tops in
   let codes = compile_program globals tops in
-  let codes = if peephole then Optimize.peephole_program ~regalloc codes else codes in
+  let codes = if peephole then Optimize.peephole_program ~regalloc globals codes else codes in
   if verify then Verify.verify_program codes;
   codes
+
+let compile_string ?optimize ?peephole ?regalloc ?verify ?hygiene ?menv
+    globals src =
+  compile_tops ?optimize ?peephole ?regalloc ?verify globals
+    (Expander.expand_string ?hygiene ?menv src)
+
+let compile_datum ?optimize ?peephole ?regalloc ?verify ?hygiene ?menv
+    globals datum =
+  compile_tops ?optimize ?peephole ?regalloc ?verify globals
+    (Expander.expand_tops ?hygiene ?menv datum)

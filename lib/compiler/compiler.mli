@@ -15,7 +15,10 @@
     [frame_words], the maximum extent the body can touch, so a single check
     at [Enter] covers every in-frame write. *)
 
-exception Compile_error of string
+exception Compile_error of string * Sexp.pos option
+(** A compilation failure, with the source position of the top-level
+    form being compiled when one is known (the compiler works over the
+    position-free core AST, so the span is form-granular). *)
 
 val compile_top : Globals.t -> Ast.top -> Rt.code
 (** Compile one top-level form into a zero-argument code object that
@@ -28,6 +31,7 @@ val compile_string :
   ?peephole:bool ->
   ?regalloc:bool ->
   ?verify:bool ->
+  ?hygiene:bool ->
   ?menv:Macro.menv ->
   Globals.t ->
   string ->
@@ -45,9 +49,28 @@ val compile_string :
     the other fusions.  Ignored when [peephole] is [false].
     [verify] (default [false]) runs the {!Verify} static bytecode
     verifier over every compiled code object (after fusion), raising
-    [Verify.Error] on any violated invariant. *)
+    [Verify.Error] on any violated invariant.
+    [hygiene] (default [true]) is the expander's hygiene switch
+    (see {!Expander}). *)
 
-val compile_eval : ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
+val compile_datum :
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  ?verify:bool ->
+  ?hygiene:bool ->
+  ?menv:Macro.menv ->
+  Globals.t ->
+  Sexp.t ->
+  Rt.code list
+(** Like {!compile_string}, but for one already-read top-level datum —
+    the per-form entry point drivers use so a failure (or a runtime
+    error in the resulting code) can be reported against the datum's
+    own source position.  A [begin] datum may still yield several code
+    objects. *)
+
+val compile_eval :
+  ?hygiene:bool -> ?menv:Macro.menv -> Globals.t -> Rt.value -> Rt.code
 (** Compile a runtime datum for [(eval datum)]: a single zero-argument
     code object that runs the (possibly spliced) top-level forms in
     sequence and returns the last value. *)

@@ -113,7 +113,10 @@ let rec opt bound (e : Ast.t) : Ast.t =
       let args = List.map (opt bound) args in
       match f with
       | Ast.Var name when not (List.mem name bound) -> (
-          match List.assoc_opt name folders with
+          (* A lexically unbound name is a global reference under its
+             source name, marks stripped — including macro-introduced
+             references to folded primitives. *)
+          match List.assoc_opt (Macro.strip_marks name) folders with
           | Some folder -> (
               let consts =
                 List.map (function Ast.Quote v -> Some v | _ -> None) args
@@ -132,8 +135,8 @@ and flatten (e : Ast.t) =
 let expr e = opt [] e
 
 let top = function
-  | Ast.Expr e -> Ast.Expr (expr e)
-  | Ast.Define (x, e) -> Ast.Define (x, expr e)
+  | Ast.Expr (e, p) -> Ast.Expr (expr e, p)
+  | Ast.Define (x, e, p) -> Ast.Define (x, expr e, p)
 
 let program tops = List.map top tops
 
@@ -243,7 +246,8 @@ let arg_push_ok ~callee_slot = function
   | Rt.Local_push (s, d) -> s <> callee_slot && d <> callee_slot
   | _ -> false
 
-let pure_target (g : Rt.global) nargs =
+let pure_target globals s nargs =
+  let g = Globals.get globals s in
   if not g.Rt.gdefined then None
   else
     match g.Rt.gval with
@@ -252,8 +256,11 @@ let pure_target (g : Rt.global) nargs =
         Some (pv, p, fn)
     | _ -> None
 
-(* Stage 2: primitive-call fusion. *)
-let fuse_prim_calls instrs =
+(* Stage 2: primitive-call fusion.  [globals] is the session whose
+   current bindings the inline caches witness: compiled code carries
+   slot numbers, so the fuser resolves each candidate slot here, once,
+   and bakes the bound [Prim] value into the site as the guard. *)
+let fuse_prim_calls globals instrs =
   let n = Array.length instrs in
   let target = branch_targets instrs in
   (* For each pc holding a fusable Global_push, the pc of its call. *)
@@ -261,7 +268,7 @@ let fuse_prim_calls instrs =
   let replace : Rt.instr option array = Array.make n None in
   for pc = 0 to n - 1 do
     match instrs.(pc) with
-    | Rt.Global_push (g, dst) when not drop.(pc) ->
+    | Rt.Global_push (s, dst) when not drop.(pc) ->
         let rec scan j =
           if j >= n || target.(j) then ()
           else if arg_push_ok ~callee_slot:dst instrs.(j) then scan (j + 1)
@@ -270,13 +277,13 @@ let fuse_prim_calls instrs =
             | ( Rt.Call { cs_disp = disp; cs_nargs = nargs; _ }
               | Rt.Tail_call { disp; nargs } )
               when disp + 1 = dst && replace.(j) = None -> (
-                match pure_target g nargs with
+                match pure_target globals s nargs with
                 | Some (pv, p, fn) ->
                     let site =
                       {
                         Rt.ps_disp = disp;
                         ps_nargs = nargs;
-                        ps_global = g;
+                        ps_slot = s;
                         ps_guard = pv;
                         ps_prim = p;
                         ps_fn = fn;
@@ -435,14 +442,16 @@ let fuse_operands instrs =
    lowering ([fuse_operands], [--no-regalloc] escape hatch) runs after
    the renumbering stages and after branch fusion, so the operand forms
    never need remapping and can consume branch-fused consumers. *)
-let rec peephole ?(regalloc = true) (c : Rt.code) : Rt.code =
-  let instrs = fuse_branches (fuse_prim_calls (fuse_pushes c.Rt.instrs)) in
+let rec peephole ?(regalloc = true) globals (c : Rt.code) : Rt.code =
+  let instrs =
+    fuse_branches (fuse_prim_calls globals (fuse_pushes c.Rt.instrs))
+  in
   let instrs = if regalloc then fuse_operands instrs else instrs in
   let instrs =
     Array.map
       (function
         | Rt.Make_closure (cc, caps) ->
-            Rt.Make_closure (peephole ~regalloc cc, caps)
+            Rt.Make_closure (peephole ~regalloc globals cc, caps)
         | Rt.Call { cs_disp; cs_nargs; _ } ->
             Rt.Call { cs_disp; cs_nargs; cs_ret = Rt.Void }
         | i -> i)
@@ -457,4 +466,5 @@ let rec peephole ?(regalloc = true) (c : Rt.code) : Rt.code =
   Bytecode.backpatch c';
   c'
 
-let peephole_program ?regalloc codes = List.map (peephole ?regalloc) codes
+let peephole_program ?regalloc globals codes =
+  List.map (peephole ?regalloc globals) codes

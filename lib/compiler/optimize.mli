@@ -49,7 +49,10 @@ val program : Ast.top list -> Ast.top list
     so captured segment contents are byte-identical to the unfused
     execution. *)
 
-val peephole : ?regalloc:bool -> Rt.code -> Rt.code
-(** Fuse one code object (recursing into [Make_closure] bodies). *)
+val peephole : ?regalloc:bool -> Globals.t -> Rt.code -> Rt.code
+(** Fuse one code object (recursing into [Make_closure] bodies).  The
+    [Globals.t] is the session whose current bindings the inline caches
+    are built against — compiled code carries slot numbers, so the fuser
+    resolves each candidate slot here. *)
 
-val peephole_program : ?regalloc:bool -> Rt.code list -> Rt.code list
+val peephole_program : ?regalloc:bool -> Globals.t -> Rt.code list -> Rt.code list

@@ -24,6 +24,7 @@ open Rt
 type 'p vm = {
   globals : Globals.t;
   menv : Macro.menv;
+  mutable hygiene : bool; (* the expander's hygiene switch for this session *)
   out : Buffer.t;
   stats : Stats.t;
   mutable acc : value;
@@ -43,6 +44,10 @@ type 'p vm = {
          buffer for pure-primitive application: no per-call Array.init.
          Safe because no pure primitive retains its argument array and
          pure primitives never re-enter the VM. *)
+  hooks : Machine_hooks.t;
+      (* this machine's timer/output hooks; installed domain-locally by
+         [run] for the extent of every run, so the process-shared prims
+         reach this vm's state *)
   pol : 'p; (* frame-policy state: the control representation *)
 }
 
@@ -56,12 +61,13 @@ let halt_code =
 let create ?stats pol =
   let out = Buffer.create 256 in
   let globals = Globals.create () in
-  Prims.install ~out globals;
+  Prims.install globals;
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let vm =
     {
       globals;
       menv = Macro.create_menv ();
+      hygiene = true;
       out;
       stats;
       acc = Void;
@@ -74,33 +80,26 @@ let create ?stats pol =
       fuel = -1;
       winders = [];
       scratch = Array.init (max_scratch + 1) (fun k -> Array.make k Void);
+      hooks = Machine_hooks.default ();
       pol;
     }
   in
-  (* The timer accessors are per-machine state with no control effect, so
-     rebind them as [Pure] primitives closing over this vm: pure prims
-     are applied in-line (no frame, no special dispatch) and are eligible
-     for primitive-call fusion.  The scheduler re-arms the timer once per
-     context switch, which made the generic special-call round trip
-     measurable hot-path overhead in experiment e2.  The [Special]
-     handlers remain as the fallback semantics of record. *)
-  let pure name parity fn =
-    Globals.define globals name (Prim { pname = name; parity; pfn = Pure fn })
-  in
-  pure "%set-timer!" (Exactly 2) (fun args ->
-      let ticks = Prims.check_int "%set-timer!" args.(0) in
-      vm.timer_handler <- args.(1);
-      vm.timer <- (if ticks <= 0 then -1 else ticks);
-      Void);
-  pure "%get-timer" (Exactly 0) (fun _ -> Int (max vm.timer 0));
-  (* Fiber-switch accounting for the data-parallel layer: the in-chunk
-     scheduler (lib/corpus par prelude) notes each one-shot task switch
-     here.  Per-machine for the same reason as the timer accessors — it
-     writes this vm's counter block — and gated like the other hot-path
-     counters. *)
-  pure "%par-switch!" (Exactly 0) (fun _ ->
-      if stats.enabled then stats.par_switches <- stats.par_switches + 1;
-      Void);
+  (* Point this machine's hook record at its own state.  The timer
+     accessors, the fiber-switch counter and the output sink are
+     per-machine state behind process-shared [Pure] prims (applied
+     in-line, no frame, eligible for primitive-call fusion — the
+     scheduler re-arms the timer once per context switch, which made a
+     special-call round trip measurable hot-path overhead in e2); the
+     prims reach the running vm through {!Machine_hooks.current}. *)
+  vm.hooks.Machine_hooks.set_timer <-
+    (fun ticks handler ->
+      vm.timer_handler <- handler;
+      vm.timer <- (if ticks <= 0 then -1 else ticks));
+  vm.hooks.Machine_hooks.get_timer <- (fun () -> max vm.timer 0);
+  vm.hooks.Machine_hooks.par_switch <-
+    (fun () ->
+      if stats.enabled then stats.par_switches <- stats.par_switches + 1);
+  vm.hooks.Machine_hooks.out <- (fun () -> vm.out);
   vm
 
 let stats vm = vm.stats

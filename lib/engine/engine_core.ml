@@ -81,6 +81,18 @@ let[@inline] load_op slots fp acc op =
   | Op_local i -> slots.(fp + i)
   | Op_const v -> v
 
+(* Resolve a global slot against this session's cell table.  Compiled
+   code carries process-wide slot numbers (so code objects — notably the
+   shared prelude image — are session-independent); the indirection is
+   one bounds test and an unsafe load on the hit path.  Defined locally
+   (not in [Engine]) so the native compiler inlines it: this tree does
+   not build with flambda, which would be needed to trust a cross-module
+   [@inline]. *)
+let[@inline] gcell (vm : Policy.t) slot =
+  let cells = vm.globals.Globals.cells in
+  if slot < Array.length cells then Array.unsafe_get cells slot
+  else Globals.get vm.globals slot
+
 let[@inline] sync (vm : Policy.t) steps pc acc =
   vm.pc <- pc;
   vm.acc <- acc;
@@ -153,23 +165,26 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       | v ->
           sync vm (steps + 1) (pc + 1) acc;
           Values.err "vm: free-box-set outside closure" [ v ])
-  | Global_ref g ->
+  | Global_ref s ->
+      let g = gcell vm s in
       if g.gdefined then
         exec vm instrs slots fp limit budget g.gval (steps + 1) (pc + 1)
       else begin
         sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("unbound variable: " ^ g.gname) []
+        Values.err ("unbound variable: " ^ Globals.slot_name s) []
       end
-  | Global_set g ->
+  | Global_set s ->
+      let g = gcell vm s in
       if g.gdefined then begin
         g.gval <- acc;
         exec vm instrs slots fp limit budget acc (steps + 1) (pc + 1)
       end
       else begin
         sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("set! of unbound variable: " ^ g.gname) []
+        Values.err ("set! of unbound variable: " ^ Globals.slot_name s) []
       end
-  | Global_define g ->
+  | Global_define s ->
+      let g = gcell vm s in
       g.gval <- acc;
       g.gdefined <- true;
       exec vm instrs slots fp limit budget acc (steps + 1) (pc + 1)
@@ -339,18 +354,19 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       | v ->
           sync vm (steps + 1) (pc + 1) acc;
           Values.err "vm: free-push outside closure" [ v ])
-  | Global_push (g, i) ->
+  | Global_push (s, i) ->
+      let g = gcell vm s in
       if g.gdefined then begin
         let slots = Policy.set vm slots fp i g.gval in
         exec vm instrs slots fp limit budget acc (steps + 1) (pc + 1)
       end
       else begin
         sync vm (steps + 1) (pc + 1) acc;
-        Values.err ("unbound variable: " ^ g.gname) []
+        Values.err ("unbound variable: " ^ Globals.slot_name s) []
       end
   | Prim_call site ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -367,7 +383,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_call1 site ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -384,7 +400,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_call2 site ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -409,7 +425,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
         (match v with Bool false -> t | _ -> pc + 2)
   | Prim_branch1 (site, t) ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -429,7 +445,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_branch2 (site, t) ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -449,7 +465,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_tail_call site ->
       sync vm (steps + 1) (pc + 1) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -488,7 +504,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
      observes is byte-identical to the unfused execution's. *)
   | Prim_call1_op (site, a) ->
       sync vm (steps + 1) (pc + 2) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -507,7 +523,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_call2_op (site, a, b) ->
       sync vm (steps + 1) (pc + 3) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -529,7 +545,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_branch1_op (site, a, t) ->
       sync vm (steps + 1) (pc + 2) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -551,7 +567,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_branch2_op (site, a, b, t) ->
       sync vm (steps + 1) (pc + 3) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -574,7 +590,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end
   | Prim_tail1_op (site, a) -> (
       sync vm (steps + 1) (pc + 2) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -603,7 +619,7 @@ let rec exec (vm : Policy.t) instrs slots fp limit budget acc steps pc =
       end)
   | Prim_tail2_op (site, a, b) -> (
       sync vm (steps + 1) (pc + 3) acc;
-      if site.ps_global.gval == site.ps_guard then begin
+      if (gcell vm site.ps_slot).gval == site.ps_guard then begin
         let stats = vm.stats in
         if stats.Stats.enabled then begin
           stats.Stats.prim_calls <- stats.Stats.prim_calls + 1;
@@ -692,7 +708,9 @@ let run ?(fuel = -1) (vm : Policy.t) code =
   vm.halted <- false;
   vm.fuel <- fuel;
   vm.winders <- [];
-  run_loop vm;
+  (* Route the process-shared timer/output prims at this machine for the
+     extent of the run (restored on exit, so nested runs unwind). *)
+  Machine_hooks.with_hooks vm.hooks (fun () -> run_loop vm);
   vm.acc
 
 let run_program ?fuel (vm : Policy.t) codes =
@@ -701,4 +719,11 @@ let run_program ?fuel (vm : Policy.t) codes =
 let eval ?fuel ?optimize ?peephole ?regalloc ?verify (vm : Policy.t) src =
   run_program ?fuel vm
     (Compiler.compile_string ?optimize ?peephole ?regalloc ?verify
-       ~menv:vm.menv vm.globals src)
+       ~hygiene:vm.hygiene ~menv:vm.menv vm.globals src)
+
+(* Per-form entry point: one already-read top-level datum, so drivers
+   can attribute failures to the datum's source position. *)
+let eval_datum ?fuel ?optimize ?peephole ?regalloc ?verify (vm : Policy.t) d =
+  run_program ?fuel vm
+    (Compiler.compile_datum ?optimize ?peephole ?regalloc ?verify
+       ~hygiene:vm.hygiene ~menv:vm.menv vm.globals d)

@@ -183,6 +183,8 @@ let dw_resume_code =
     frame_words = 11;
     timer_ret = Void;
     templ = No_template;
+    cline = 0;
+    ccol = 0;
   }
 
 let dw_ret_before = Retaddr { rcode = dw_resume_code; rpc = 0; rdisp = 7 }
@@ -205,6 +207,8 @@ let wind_resume_code =
     frame_words = 10;
     timer_ret = Void;
     templ = No_template;
+    cline = 0;
+    ccol = 0;
   }
 
 let wind_ret = Retaddr { rcode = wind_resume_code; rpc = 0; rdisp = 6 }
@@ -216,13 +220,22 @@ let wind_prim = { pname = "%wind"; parity = At_least 4; pfn = Special Sp_wind }
 let dw_prim =
   { pname = "%dynamic-wind"; parity = At_least 3; pfn = Special Sp_dynamic_wind }
 
-let the_prims ~out : (string * prim) list =
+(* Every prim below is a module-level, process-shared value: the
+   inline-cache guards compiled into shared code (the prelude image)
+   compare [ps_guard == gval] with physical equality, so the value bound
+   to [+] must be the same record in every session.  The few prims that
+   touch per-machine state — the output buffer and the preemption
+   timer — reach the *running* machine through {!Machine_hooks}, the
+   per-domain hook record each backend's [run] installs. *)
+let hooks_out () = (Machine_hooks.current ()).Machine_hooks.out ()
+
+let the_prims : (string * prim) list =
   let display_v v =
-    Buffer.add_string out (Values.display_string v);
+    Buffer.add_string (hooks_out ()) (Values.display_string v);
     Void
   in
   let write_v v =
-    Buffer.add_string out (Values.write_string v);
+    Buffer.add_string (hooks_out ()) (Values.write_string v);
     Void
   in
   [
@@ -683,9 +696,10 @@ let the_prims ~out : (string * prim) list =
       (a1 "hashtable-copy" (fun t ->
            Tbl (Hashtbl.copy (check_tbl "hashtable-copy" t))));
     (* -- output -------------------------------------------------------- *)
-    pure "%output-mark" (Exactly 0) (fun _ -> Int (Buffer.length out));
+    pure "%output-mark" (Exactly 0) (fun _ -> Int (Buffer.length (hooks_out ())));
     pure "%output-take" (Exactly 1)
       (a1 "%output-take" (fun v ->
+           let out = hooks_out () in
            let mark = check_int "%output-take" v in
            let len = Buffer.length out in
            if mark < 0 || mark > len then
@@ -696,7 +710,7 @@ let the_prims ~out : (string * prim) list =
     pure "display" (Exactly 1) (a1 "display" display_v);
     pure "write" (Exactly 1) (a1 "write" write_v);
     pure "newline" (Exactly 0) (fun _ ->
-        Buffer.add_char out '\n';
+        Buffer.add_char (hooks_out ()) '\n';
         Void);
     (* -- misc ----------------------------------------------------------- *)
     pure "void" (Exactly 0) (fun _ -> Void);
@@ -783,15 +797,17 @@ let the_prims ~out : (string * prim) list =
     pure "%par-chunk" (Exactly 0) (fun _ -> Int 1);
     pure "%par-dispatch" (At_least 3) (fun _ ->
         Values.err "par: no pool attached to this session" []);
-    (* No-op fallback so every backend binds it; [Engine.create] rebinds
-       it over the machine's own counter block. *)
-    pure "%par-switch!" (Exactly 0) (fun _ -> Void);
+    (* Count a voluntary fiber switch on the running machine's counter
+       block (a no-op outside any run, matching the old inert default). *)
+    pure "%par-switch!" (Exactly 0) (fun _ ->
+        (Machine_hooks.current ()).Machine_hooks.par_switch ();
+        Void);
     (* Raw append to this session's output buffer: the pool stitches
        worker shard output back into the master's stream through this
        (a pure prim the master can apply without re-entering its VM). *)
     pure "%par-emit" (Exactly 1)
       (a1 "%par-emit" (fun v ->
-           Buffer.add_bytes out (check_str "%par-emit" v);
+           Buffer.add_bytes (hooks_out ()) (check_str "%par-emit" v);
            Void));
     (* -- control specials (handled by the machine loops) ---------------- *)
     special "%call/cc" (Exactly 1) Sp_callcc;
@@ -799,8 +815,18 @@ let the_prims ~out : (string * prim) list =
     ("%dynamic-wind", dw_prim);
     special "apply" (At_least 2) Sp_apply;
     special "values" (At_least 0) Sp_values;
-    special "%set-timer!" (Exactly 2) Sp_set_timer;
-    special "%get-timer" (Exactly 0) Sp_get_timer;
+    (* The preemption-timer accessors reach the running machine through
+       the hooks, so they stay pure (applied inline, no frame) and the
+       prim values stay process-shared.  Outside any run the defaults
+       make set a no-op and get read 0 — the oracle's semantics. *)
+    pure "%set-timer!" (Exactly 2)
+      (a2 "%set-timer!" (fun ticks handler ->
+           (Machine_hooks.current ()).Machine_hooks.set_timer
+             (check_int "%set-timer!" ticks)
+             handler;
+           Void));
+    pure "%get-timer" (Exactly 0) (fun _ ->
+        Int ((Machine_hooks.current ()).Machine_hooks.get_timer ()));
     special "%stat" (Exactly 1) Sp_stats;
     special "%backtrace" (Exactly 0) Sp_backtrace;
     special "eval" (Exactly 1) Sp_eval;
@@ -814,7 +840,14 @@ let the_prims ~out : (string * prim) list =
                Values.err ("read-from-string: " ^ msg) []));
   ]
 
-let install ~out globals =
+(* One boxed [Prim] value per primitive, shared by every session: the
+   fused-site guards compare the boxed value physically ([gval ==
+   ps_guard]), so sessions consuming shared compiled code (the prelude
+   image) must see the very same box the image's compile captured. *)
+let the_prim_values : (string * value) list =
+  List.map (fun (name, p) -> (name, Prim p)) the_prims
+
+let install globals =
   List.iter
-    (fun (name, p) -> Globals.define globals name (Prim p))
-    (the_prims ~out)
+    (fun (name, v) -> Globals.define globals name v)
+    the_prim_values

@@ -1,15 +1,17 @@
 (** The primitive procedure library shared by both virtual machines and the
     oracle interpreter.
 
-    [install] populates a global table with every primitive.  Pure
-    primitives close over [out], the output sink for [display]/[write]/
-    [newline]; control primitives ([%call/cc], [%call/1cc], [%apply],
-    [values], [%set-timer!], [%stat]) are [Rt.Special] markers handled by
-    each machine's dispatch loop. *)
+    [install] populates a global table with every primitive.  Every
+    primitive value is a process-shared module-level constant (so the
+    inline-cache guards of shared compiled code hold across sessions);
+    the ones that need the running machine — output, the preemption
+    timer — reach it through {!Machine_hooks}.  Control primitives
+    ([%call/cc], [%call/1cc], [apply], [values], [%stat]) are
+    [Rt.Special] markers handled by each machine's dispatch loop. *)
 
-val install : out:Buffer.t -> Globals.t -> unit
+val install : Globals.t -> unit
 
-val the_prims : out:Buffer.t -> (string * Rt.prim) list
+val the_prims : (string * Rt.prim) list
 (** All primitives, for machines that want their own table. *)
 
 val check_int : string -> Rt.value -> int

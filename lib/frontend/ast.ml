@@ -18,20 +18,33 @@ and lambda = {
   lname : string;                       (* heuristic name for diagnostics *)
 }
 
-(* A top-level form: expression or definition. *)
-type top = Expr of t | Define of string * t
+(* A top-level form: expression or definition, with the source position
+   of the surface form it expanded from (the span diagnostics report
+   when a failure carries no finer position of its own). *)
+type top = Expr of t * Sexp.pos | Define of string * t * Sexp.pos
+
+let top_pos = function Expr (_, p) | Define (_, _, p) -> p
+
+(* Hygiene marks are unprintable (Macro.mark_char followed by a
+   counter); render a marked identifier as name#n so --expand output
+   stays readable.  Reader-produced names pass through untouched. *)
+let pretty_name s =
+  match String.index_opt s Macro.mark_char with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ "#" ^ String.sub s (i + 1) (String.length s - i - 1)
 
 let rec to_string ast =
   match ast with
   | Quote v -> "'" ^ Values.write_string v
-  | Var x -> x
+  | Var x -> pretty_name x
   | If (a, b, c) ->
       Printf.sprintf "(if %s %s %s)" (to_string a) (to_string b) (to_string c)
-  | Set (x, e) -> Printf.sprintf "(set! %s %s)" x (to_string e)
+  | Set (x, e) -> Printf.sprintf "(set! %s %s)" (pretty_name x) (to_string e)
   | Lambda { params; rest; body; _ } ->
-      let ps = String.concat " " params in
+      let ps = String.concat " " (List.map pretty_name params) in
       let ps =
-        match rest with None -> ps | Some r -> ps ^ " . " ^ r
+        match rest with None -> ps | Some r -> ps ^ " . " ^ pretty_name r
       in
       Printf.sprintf "(lambda (%s) %s)" ps (to_string body)
   | Begin es ->
@@ -41,5 +54,6 @@ let rec to_string ast =
         (String.concat " " (List.map to_string (f :: args)))
 
 let top_to_string = function
-  | Expr e -> to_string e
-  | Define (x, e) -> Printf.sprintf "(define %s %s)" x (to_string e)
+  | Expr (e, _) -> to_string e
+  | Define (x, e, _) ->
+      Printf.sprintf "(define %s %s)" (pretty_name x) (to_string e)

@@ -18,8 +18,15 @@ and lambda = {
   lname : string;  (** heuristic name for diagnostics *)
 }
 
-(** A top-level form: expression or definition. *)
-type top = Expr of t | Define of string * t
+(** A top-level form: expression or definition, carrying the source
+    position of the surface form it expanded from — the span
+    diagnostics fall back to when a failure has no finer position. *)
+type top = Expr of t * Sexp.pos | Define of string * t * Sexp.pos
+
+val top_pos : top -> Sexp.pos
 
 val to_string : t -> string
+(** Render the core form.  Hygiene-marked identifiers print as [name#n]
+    (the mark character is unprintable). *)
+
 val top_to_string : top -> string

@@ -2,25 +2,34 @@ exception Expand_error of string * Sexp.pos
 
 let err pos msg = raise (Expand_error (msg, pos))
 
-(* The ambient macro environment for this expansion.  [with_menv] scopes
-   it; callers that need macro persistence across expansions (sessions,
-   eval) pass their own table. *)
-let current_menv : Macro.menv ref = ref (Macro.create_menv ())
-let macro_depth = ref 0
+(* One expansion's state, threaded explicitly through every function:
+   the macro environment (shared with the session so [define-syntax]
+   persists), the hygiene switch, and the macro-recursion depth.  No
+   process-global ambient state — concurrent sessions on different
+   domains expand independently ([Scheme.Pool], par workers). *)
+type ctx = {
+  menv : Macro.menv;
+  hygiene : bool;
+  depth : int ref; (* shared across [let-syntax] extensions of this ctx *)
+}
 
-let with_menv menv f =
-  let saved = !current_menv and saved_d = !macro_depth in
-  current_menv := menv;
-  macro_depth := 0;
-  Fun.protect
-    ~finally:(fun () ->
-      current_menv := saved;
-      macro_depth := saved_d)
-    f
+let make_ctx ?(hygiene = true) ?menv () =
+  {
+    menv = (match menv with Some m -> m | None -> Macro.create_menv ());
+    hygiene;
+    depth = ref 0;
+  }
+
+(* Identifiers resolve against the definition environment by source
+   name: strip hygiene marks wherever a name meets a keyword or the
+   global/quoted-data world.  Lexical binders keep their marks, so a
+   marked binder binds exactly the identically marked references its
+   own expansion introduced. *)
+let strip = Macro.strip_marks
 
 let rec datum_to_value (d : Sexp.t) : Rt.value =
   match d with
-  | Sexp.Sym (s, _) -> Rt.sym s
+  | Sexp.Sym (s, _) -> Rt.sym (strip s)
   | Sexp.Int (n, _) -> Rt.Int n
   | Sexp.Float (f, _) -> Rt.Flo f
   | Sexp.Str (s, _) -> Rt.Str (Bytes.of_string s)
@@ -64,10 +73,9 @@ let rec value_to_datum (v : Rt.value) : Sexp.t =
            ("eval: value has no syntax: " ^ Values.write_string other, []))
 
 let fresh =
-  let counter = ref 0 in
+  let counter = Atomic.make 0 in
   fun prefix ->
-    incr counter;
-    Printf.sprintf "%s%%e%d" prefix !counter
+    Printf.sprintf "%s%%e%d" prefix (Atomic.fetch_and_add counter 1)
 
 (* Positionless datum constructors used when synthesizing expansions. *)
 let p0 : Sexp.pos = { line = 0; col = 0 }
@@ -87,15 +95,15 @@ let begin_of pos = function
    list->vector.  [depth] counts enclosing quasiquotes. *)
 let rec qq_expand (d : Sexp.t) depth : Sexp.t =
   match d with
-  | Sexp.List ([ Sexp.Sym ("unquote", _); x ], _) ->
+  | Sexp.List ([ Sexp.Sym (u, _); x ], _) when strip u = "unquote" ->
       if depth = 1 then x
       else
         dlist
           [ dsym "list"; dlist [ dsym "quote"; dsym "unquote" ];
             qq_expand x (depth - 1) ]
-  | Sexp.List (Sexp.Sym ("unquote", pos) :: _, _) ->
+  | Sexp.List (Sexp.Sym (u, pos) :: _, _) when strip u = "unquote" ->
       err pos "unquote: expects exactly one form"
-  | Sexp.List ([ Sexp.Sym ("quasiquote", _); x ], _) ->
+  | Sexp.List ([ Sexp.Sym (q, _); x ], _) when strip q = "quasiquote" ->
       dlist
         [ dsym "list"; dlist [ dsym "quote"; dsym "quasiquote" ];
           qq_expand x (depth + 1) ]
@@ -112,23 +120,25 @@ and qq_expand_list elems pos depth =
 
 and qq_expand_dotted elems final _pos depth =
   match elems with
-  | [ Sexp.Sym ("unquote", _); _ ] when final = Sexp.List ([], _pos) ->
+  | [ Sexp.Sym (u, _); _ ]
+    when strip u = "unquote" && final = Sexp.List ([], _pos) ->
       (* (a . ,e) reads as (a unquote e): unquote in tail position. *)
       qq_expand (dlist elems) depth
   | [] -> qq_expand final depth
   | first :: rest -> (
       let rest_exp = qq_expand_dotted rest final _pos depth in
       match first with
-      | Sexp.List ([ Sexp.Sym ("unquote-splicing", _); x ], _) when depth = 1 ->
-          dlist [ dsym "append"; x; rest_exp ]
-      | Sexp.List ([ Sexp.Sym ("unquote-splicing", _); x ], _) ->
-          dlist
-            [ dsym "cons";
-              dlist
-                [ dsym "list";
-                  dlist [ dsym "quote"; dsym "unquote-splicing" ];
-                  qq_expand x (depth - 1) ];
-              rest_exp ]
+      | Sexp.List ([ Sexp.Sym (us, _); x ], _)
+        when strip us = "unquote-splicing" ->
+          if depth = 1 then dlist [ dsym "append"; x; rest_exp ]
+          else
+            dlist
+              [ dsym "cons";
+                dlist
+                  [ dsym "list";
+                    dlist [ dsym "quote"; dsym "unquote-splicing" ];
+                    qq_expand x (depth - 1) ];
+                rest_exp ]
       | _ -> dlist [ dsym "cons"; qq_expand first depth; rest_exp ])
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +175,8 @@ let parse_params pos (formals : Sexp.t) : string list * string option =
       (names, Some r)
   | _ -> err pos "lambda: malformed formals"
 
-(* Rewrite a (define ...) body form into (name, rhs-datum). *)
+(* Rewrite a (define ...) body form into (name, rhs-datum).  Names keep
+   their marks: internal definitions are lexical binders. *)
 let parse_define pos (forms : Sexp.t list) : string * Sexp.t =
   match forms with
   | [ Sexp.Sym (x, _); rhs ] -> (x, rhs)
@@ -178,7 +189,23 @@ let parse_define pos (forms : Sexp.t list) : string * Sexp.t =
           (dsym "lambda" :: Sexp.Dotted (formals, rest, fpos) :: body, pos) )
   | _ -> err pos "define: malformed"
 
-let rec expand (d : Sexp.t) : Ast.t =
+(* Extend [ctx] with the (name (syntax-rules ...)) bindings of a
+   [let-syntax]/[letrec-syntax] form.  The environment is copied, so
+   the bindings scope over the form's body only; both keywords get the
+   letrec semantics (a rule body is resolved at use time, against the
+   extended copy), which is sound for let-syntax and merely more
+   permissive than R5RS requires. *)
+let bind_syntax ctx pos binds =
+  let menv = Hashtbl.copy ctx.menv in
+  List.iter
+    (function
+      | Sexp.List ([ Sexp.Sym (name, _); rules_form ], _) ->
+          Hashtbl.replace menv (strip name) (Macro.parse_syntax_rules rules_form)
+      | _ -> err pos "let-syntax: each binding is (name (syntax-rules ...))")
+    binds;
+  { ctx with menv }
+
+let rec expand ctx (d : Sexp.t) : Ast.t =
   match d with
   | Sexp.Sym (s, _) -> Ast.Var s
   | Sexp.Int _ | Sexp.Float _ | Sexp.Str _ | Sexp.Bool _ | Sexp.Char _
@@ -188,45 +215,48 @@ let rec expand (d : Sexp.t) : Ast.t =
   | Sexp.List ([], pos) -> err pos "empty application"
   | Sexp.List (op :: args, pos) -> (
       match sym_name op with
-      | Some kw -> expand_form kw op args pos
-      | None -> Ast.App (expand op, List.map expand args))
+      | Some s -> expand_form ctx (strip s) op args pos
+      | None -> Ast.App (expand ctx op, List.map (expand ctx) args))
 
-and expand_form kw op args pos =
+(* [kw] is the head symbol's source name (marks stripped): keywords and
+   the macro table live in the definition environment. *)
+and expand_form ctx kw op args pos =
   match (kw, args) with
   | "quote", [ d ] -> Ast.Quote (datum_to_value d)
   | "quote", _ -> err pos "quote: expects exactly one datum"
-  | "quasiquote", [ d ] -> expand (qq_expand d 1)
+  | "quasiquote", [ d ] -> expand ctx (qq_expand d 1)
   | "quasiquote", _ -> err pos "quasiquote: expects exactly one datum"
   | ("unquote" | "unquote-splicing"), _ -> err pos (kw ^ ": outside quasiquote")
-  | "if", [ t; c ] -> Ast.If (expand t, expand c, Ast.Quote Rt.Void)
-  | "if", [ t; c; a ] -> Ast.If (expand t, expand c, expand a)
+  | "if", [ t; c ] -> Ast.If (expand ctx t, expand ctx c, Ast.Quote Rt.Void)
+  | "if", [ t; c; a ] -> Ast.If (expand ctx t, expand ctx c, expand ctx a)
   | "if", _ -> err pos "if: expects two or three forms"
-  | "set!", [ Sexp.Sym (x, _); e ] -> Ast.Set (x, expand e)
+  | "set!", [ Sexp.Sym (x, _); e ] -> Ast.Set (x, expand ctx e)
   | "set!", _ -> err pos "set!: malformed"
   | "lambda", formals :: body when body <> [] ->
       let params, rest = parse_params pos formals in
-      Ast.Lambda { params; rest; body = expand_body pos body; lname = "lambda" }
+      Ast.Lambda
+        { params; rest; body = expand_body ctx pos body; lname = "lambda" }
   | "lambda", _ -> err pos "lambda: malformed"
   | "begin", [] -> Ast.Quote Rt.Void
-  | "begin", body -> begin_of pos (List.map expand body)
+  | "begin", body -> begin_of pos (List.map (expand ctx) body)
   | "define", _ -> err pos "define: only allowed at top level or body head"
   | "let", Sexp.Sym (loop, _) :: bindings :: body ->
-      expand_named_let pos loop bindings body
+      expand_named_let ctx pos loop bindings body
   | "let", bindings :: body when body <> [] ->
       let names, inits = parse_bindings pos bindings in
       let lam =
         Ast.Lambda
-          { params = names; rest = None; body = expand_body pos body;
+          { params = names; rest = None; body = expand_body ctx pos body;
             lname = "let" }
       in
-      Ast.App (lam, List.map expand inits)
+      Ast.App (lam, List.map (expand ctx) inits)
   | "let", _ -> err pos "let: malformed"
   | "let*", bindings :: body when body <> [] -> (
       match parse_binding_forms pos bindings with
-      | [] -> expand (Sexp.List (dsym "let" :: bindings :: body, pos))
-      | [ _ ] -> expand (Sexp.List (dsym "let" :: bindings :: body, pos))
+      | [] -> expand ctx (Sexp.List (dsym "let" :: bindings :: body, pos))
+      | [ _ ] -> expand ctx (Sexp.List (dsym "let" :: bindings :: body, pos))
       | first :: rest ->
-          expand
+          expand ctx
             (dlist
                [ dsym "let"; dlist [ first ];
                  Sexp.List
@@ -234,39 +264,46 @@ and expand_form kw op args pos =
   | "let*", _ -> err pos "let*: malformed"
   | ("letrec" | "letrec*"), bindings :: body when body <> [] ->
       let names, inits = parse_bindings pos bindings in
-      expand_letrec pos names inits body
+      expand_letrec ctx pos names inits body
   | ("letrec" | "letrec*"), _ -> err pos (kw ^ ": malformed")
-  | "cond", clauses -> expand_cond pos clauses
-  | "case", key :: clauses -> expand_case pos key clauses
+  | "cond", clauses -> expand_cond ctx pos clauses
+  | "case", key :: clauses -> expand_case ctx pos key clauses
   | "case", _ -> err pos "case: malformed"
   | "and", [] -> Ast.Quote (Rt.Bool true)
-  | "and", [ e ] -> expand e
+  | "and", [ e ] -> expand ctx e
   | "and", e :: rest ->
-      Ast.If (expand e, expand_form "and" op rest pos, Ast.Quote (Rt.Bool false))
+      Ast.If
+        (expand ctx e, expand_form ctx "and" op rest pos,
+         Ast.Quote (Rt.Bool false))
   | "or", [] -> Ast.Quote (Rt.Bool false)
-  | "or", [ e ] -> expand e
+  | "or", [ e ] -> expand ctx e
   | "or", e :: rest ->
       let t = fresh "or" in
       Ast.App
         ( Ast.Lambda
             { params = [ t ]; rest = None;
               body =
-                Ast.If (Ast.Var t, Ast.Var t, expand_form "or" op rest pos);
+                Ast.If (Ast.Var t, Ast.Var t, expand_form ctx "or" op rest pos);
               lname = "or" },
-          [ expand e ] )
+          [ expand ctx e ] )
   | "when", test :: body when body <> [] ->
-      Ast.If (expand test, begin_of pos (List.map expand body), Ast.Quote Rt.Void)
+      Ast.If
+        (expand ctx test, begin_of pos (List.map (expand ctx) body),
+         Ast.Quote Rt.Void)
   | "unless", test :: body when body <> [] ->
-      Ast.If (expand test, Ast.Quote Rt.Void, begin_of pos (List.map expand body))
-  | "do", bindings :: test_exprs :: body -> expand_do pos bindings test_exprs body
+      Ast.If
+        (expand ctx test, Ast.Quote Rt.Void,
+         begin_of pos (List.map (expand ctx) body))
+  | "do", bindings :: test_exprs :: body ->
+      expand_do ctx pos bindings test_exprs body
   | "do", _ -> err pos "do: malformed"
   | "delay", [ e ] ->
-      expand
+      expand ctx
         (dlist [ dsym "%make-promise"; dlist [ dsym "lambda"; dlist []; e ] ])
   | "delay", _ -> err pos "delay: expects exactly one form"
   | "assert", [ e ] ->
       Ast.If
-        ( expand e,
+        ( expand ctx e,
           Ast.Quote Rt.Void,
           Ast.App
             ( Ast.Var "error",
@@ -277,34 +314,42 @@ and expand_form kw op args pos =
               ] ) )
   | "assert", _ -> err pos "assert: expects exactly one form"
   | "case-lambda", clauses when clauses <> [] ->
-      expand_case_lambda pos clauses
-  | ("define-syntax" | "let-syntax" | "letrec-syntax"), _ ->
-      err pos (kw ^ ": only supported at top level")
+      expand_case_lambda ctx pos clauses
+  | ("let-syntax" | "letrec-syntax"), Sexp.List (binds, bpos) :: body
+    when body <> [] ->
+      expand_body (bind_syntax ctx bpos binds) pos body
+  | ("let-syntax" | "letrec-syntax"), _ -> err pos (kw ^ ": malformed")
+  | "define-syntax", _ ->
+      err pos "define-syntax: only supported at top level"
   | _ -> (
-      match Hashtbl.find_opt !current_menv kw with
+      match Hashtbl.find_opt ctx.menv kw with
       | Some rules ->
-          incr macro_depth;
-          if !macro_depth > 500 then
+          incr ctx.depth;
+          if !(ctx.depth) > 500 then
             err pos ("macro expansion too deep (looping?): " ^ kw);
           Fun.protect
-            ~finally:(fun () -> decr macro_depth)
+            ~finally:(fun () -> decr ctx.depth)
             (fun () ->
-              expand (Macro.expand_use rules (Sexp.List (op :: args, pos))))
-      | None -> Ast.App (expand op, List.map expand args))
+              expand ctx
+                (Macro.expand_use ~hygiene:ctx.hygiene rules
+                   (Sexp.List (op :: args, pos))))
+      | None -> Ast.App (expand ctx op, List.map (expand ctx) args))
 
 (* Bodies: a (possibly empty) prefix of internal definitions followed by
    expressions, treated as letrec* (R5RS 5.2.2). *)
-and expand_body pos body =
+and expand_body ctx pos body =
   let rec split defs forms =
     match forms with
-    | Sexp.List (Sexp.Sym ("define", _) :: dforms, dpos) :: rest ->
+    | Sexp.List (Sexp.Sym (d, _) :: dforms, dpos) :: rest
+      when strip d = "define" ->
         split (parse_define dpos dforms :: defs) rest
-    | Sexp.List (Sexp.Sym ("begin", _) :: inner, _) :: rest
-      when List.exists
-             (function
-               | Sexp.List (Sexp.Sym ("define", _) :: _, _) -> true
-               | _ -> false)
-             inner ->
+    | Sexp.List (Sexp.Sym (b, _) :: inner, _) :: rest
+      when strip b = "begin"
+           && List.exists
+                (function
+                  | Sexp.List (Sexp.Sym (d, _) :: _, _) -> strip d = "define"
+                  | _ -> false)
+                inner ->
         (* (begin (define ...) ...) at body head splices. *)
         split defs (inner @ rest)
     | _ -> (List.rev defs, forms)
@@ -312,18 +357,18 @@ and expand_body pos body =
   let defs, exprs = split [] body in
   if exprs = [] then err pos "body has no expression";
   match defs with
-  | [] -> begin_of pos (List.map expand exprs)
+  | [] -> begin_of pos (List.map (expand ctx) exprs)
   | _ ->
       let names = List.map fst defs in
       let inits = List.map snd defs in
-      expand_letrec pos names inits exprs
+      expand_letrec ctx pos names inits exprs
 
-and expand_letrec pos names inits body =
+and expand_letrec ctx pos names inits body =
   (* ((lambda (x ...) (set! x init) ... body) #undefined ...) *)
   let sets =
-    List.map2 (fun n i -> Ast.Set (n, expand i)) names inits
+    List.map2 (fun n i -> Ast.Set (n, expand ctx i)) names inits
   in
-  let body_ast = expand_body pos body in
+  let body_ast = expand_body ctx pos body in
   let full =
     match sets with [] -> body_ast | _ -> Ast.Begin (sets @ [ body_ast ])
   in
@@ -345,7 +390,7 @@ and parse_bindings pos bindings =
   let pairs = List.map parse forms in
   (List.map fst pairs, List.map snd pairs)
 
-and expand_named_let pos loop bindings body =
+and expand_named_let ctx pos loop bindings body =
   let names, inits = parse_bindings pos bindings in
   (* (letrec ((loop (lambda (names) body))) (loop inits)) *)
   let lam =
@@ -361,24 +406,25 @@ and expand_named_let pos loop bindings body =
         dlist [ dlist [ dsym loop; lam ] ];
         dlist (dsym loop :: inits) ]
   in
-  expand letrec_form
+  expand ctx letrec_form
 
-and expand_cond pos clauses =
+and expand_cond ctx pos clauses =
   match clauses with
   | [] -> Ast.Quote Rt.Void
-  | Sexp.List (Sexp.Sym ("else", _) :: body, cpos) :: rest ->
+  | Sexp.List (Sexp.Sym (e, _) :: body, cpos) :: rest when strip e = "else" ->
       if rest <> [] then err cpos "cond: else clause must be last";
-      begin_of cpos (List.map expand body)
+      begin_of cpos (List.map (expand ctx) body)
   | Sexp.List ([ test ], _) :: rest ->
       (* (cond (e) ...): value of e if true *)
       let t = fresh "t" in
       Ast.App
         ( Ast.Lambda
             { params = [ t ]; rest = None;
-              body = Ast.If (Ast.Var t, Ast.Var t, expand_cond pos rest);
+              body = Ast.If (Ast.Var t, Ast.Var t, expand_cond ctx pos rest);
               lname = "cond" },
-          [ expand test ] )
-  | Sexp.List ([ test; Sexp.Sym ("=>", _); receiver ], _) :: rest ->
+          [ expand ctx test ] )
+  | Sexp.List ([ test; Sexp.Sym (arrow, _); receiver ], _) :: rest
+    when strip arrow = "=>" ->
       let t = fresh "t" in
       Ast.App
         ( Ast.Lambda
@@ -386,22 +432,25 @@ and expand_cond pos clauses =
               body =
                 Ast.If
                   ( Ast.Var t,
-                    Ast.App (expand receiver, [ Ast.Var t ]),
-                    expand_cond pos rest );
+                    Ast.App (expand ctx receiver, [ Ast.Var t ]),
+                    expand_cond ctx pos rest );
               lname = "cond" },
-          [ expand test ] )
+          [ expand ctx test ] )
   | Sexp.List (test :: body, cpos) :: rest ->
-      Ast.If (expand test, begin_of cpos (List.map expand body), expand_cond pos rest)
+      Ast.If
+        (expand ctx test, begin_of cpos (List.map (expand ctx) body),
+         expand_cond ctx pos rest)
   | _ -> err pos "cond: malformed clause"
 
-and expand_case pos key clauses =
+and expand_case ctx pos key clauses =
   let k = fresh "key" in
   let rec clause_chain clauses =
     match clauses with
     | [] -> Ast.Quote Rt.Void
-    | Sexp.List (Sexp.Sym ("else", _) :: body, cpos) :: rest ->
+    | Sexp.List (Sexp.Sym (e, _) :: body, cpos) :: rest when strip e = "else"
+      ->
         if rest <> [] then err cpos "case: else clause must be last";
-        begin_of cpos (List.map expand body)
+        begin_of cpos (List.map (expand ctx) body)
     | Sexp.List (Sexp.List (datums, _) :: body, cpos) :: rest ->
         let tests =
           List.map
@@ -421,18 +470,19 @@ and expand_case pos key clauses =
                 ts
                 (Ast.Quote (Rt.Bool false))
         in
-        Ast.If (test, begin_of cpos (List.map expand body), clause_chain rest)
+        Ast.If
+          (test, begin_of cpos (List.map (expand ctx) body), clause_chain rest)
     | _ -> err pos "case: malformed clause"
   in
   Ast.App
     ( Ast.Lambda
         { params = [ k ]; rest = None; body = clause_chain clauses;
           lname = "case" },
-      [ expand key ] )
+      [ expand ctx key ] )
 
 (* (case-lambda (formals body...) ...) dispatches on argument count:
    expands to a rest-lambda applying the first matching clause. *)
-and expand_case_lambda pos clauses =
+and expand_case_lambda ctx pos clauses =
   let args = fresh "args" in
   let n = fresh "n" in
   let clause_test formals =
@@ -462,14 +512,15 @@ and expand_case_lambda pos clauses =
         | _ -> dlist [ dsym "if"; clause_test formals; apply_clause; chain rest ])
     | _ -> err pos "case-lambda: malformed clause"
   in
-  expand
+  expand ctx
     (dlist
        [ dsym "lambda"; dsym args;
          dlist
-           [ dsym "let"; dlist [ dlist [ dsym n; dlist [ dsym "length"; dsym args ] ] ];
+           [ dsym "let";
+             dlist [ dlist [ dsym n; dlist [ dsym "length"; dsym args ] ] ];
              chain clauses ] ])
 
-and expand_do pos bindings test_exprs body =
+and expand_do ctx pos bindings test_exprs body =
   let forms = parse_binding_forms pos bindings in
   let specs =
     List.map
@@ -501,25 +552,29 @@ and expand_do pos bindings test_exprs body =
         dlist (dsym "begin" :: (body @ [ again ])) ]
   in
   let lam = dlist [ dsym "lambda"; dlist names; loop_body ] in
-  expand
+  expand ctx
     (dlist
        [ dsym "letrec";
          dlist [ dlist [ dsym loop; lam ] ];
          dlist (dsym loop :: inits) ])
 
-let expand_top (d : Sexp.t) : Ast.top =
+(* Top-level define names are global: strip marks, so a macro-defined
+   global is nameable by its source name (globals are the definition
+   environment either way). *)
+let expand_top_in ctx (d : Sexp.t) : Ast.top =
   match d with
-  | Sexp.List (Sexp.Sym ("define", _) :: forms, pos) ->
+  | Sexp.List (Sexp.Sym (df, _) :: forms, pos) when strip df = "define" ->
       let name, rhs = parse_define pos forms in
-      let rhs_ast = expand rhs in
+      let name = strip name in
+      let rhs_ast = expand ctx rhs in
       let rhs_ast =
         (* Name top-level lambdas after the variable for diagnostics. *)
         match rhs_ast with
         | Ast.Lambda l -> Ast.Lambda { l with lname = name }
         | other -> other
       in
-      Ast.Define (name, rhs_ast)
-  | other -> Ast.Expr (expand other)
+      Ast.Define (name, rhs_ast, pos)
+  | other -> Ast.Expr (expand ctx other, Sexp.pos_of other)
 
 (* (define-record-type name (ctor field ...) pred (field accessor [setter])
    ...): expands to tagged-vector definitions.  The tag is a fresh pair, so
@@ -641,41 +696,50 @@ let expand_record_type pos (forms : Sexp.t list) : Sexp.t list =
 
 (* Top-level (begin ...) splices (R5RS 5.1), so definitions inside it are
    top-level definitions. *)
-let rec expand_tops (d : Sexp.t) : Ast.top list =
+let rec expand_tops_in ctx (d : Sexp.t) : Ast.top list =
   match d with
-  | Sexp.List (Sexp.Sym ("begin", _) :: forms, _) when forms <> [] ->
-      List.concat_map expand_tops forms
-  | Sexp.List (Sexp.Sym ("define-record-type", _) :: forms, pos) ->
-      List.concat_map expand_tops (expand_record_type pos forms)
-  | Sexp.List
-      ([ Sexp.Sym ("define-syntax", _); Sexp.Sym (name, _); rules_form ], _)
-    ->
-      Hashtbl.replace !current_menv name (Macro.parse_syntax_rules rules_form);
+  | Sexp.List (Sexp.Sym (b, _) :: forms, _)
+    when strip b = "begin" && forms <> [] ->
+      List.concat_map (expand_tops_in ctx) forms
+  | Sexp.List (Sexp.Sym (drt, _) :: forms, pos)
+    when strip drt = "define-record-type" ->
+      List.concat_map (expand_tops_in ctx) (expand_record_type pos forms)
+  | Sexp.List ([ Sexp.Sym (ds, _); Sexp.Sym (name, _); rules_form ], _)
+    when strip ds = "define-syntax" ->
+      Hashtbl.replace ctx.menv (strip name)
+        (Macro.parse_syntax_rules rules_form);
       []
-  | Sexp.List (Sexp.Sym ("define-syntax", _) :: _, pos) ->
+  | Sexp.List (Sexp.Sym (ds, _) :: _, pos) when strip ds = "define-syntax" ->
       err pos "define-syntax: expected (define-syntax name (syntax-rules ...))"
-  | Sexp.List (Sexp.Sym (kw, _) :: _, pos) as form
-    when Hashtbl.mem !current_menv kw
-         && not
-              (List.mem kw
-                 [ "quote"; "lambda"; "if"; "set!"; "begin"; "define"; "let";
-                   "let*"; "letrec"; "letrec*"; "cond"; "case"; "and"; "or";
-                   "when"; "unless"; "do"; "delay"; "assert"; "case-lambda";
-                   "quasiquote" ]) ->
+  | Sexp.List (Sexp.Sym (kw0, _) :: _, pos) as form
+    when (let kw = strip kw0 in
+          Hashtbl.mem ctx.menv kw
+          && not
+               (List.mem kw
+                  [ "quote"; "lambda"; "if"; "set!"; "begin"; "define"; "let";
+                    "let*"; "letrec"; "letrec*"; "cond"; "case"; "and"; "or";
+                    "when"; "unless"; "do"; "delay"; "assert"; "case-lambda";
+                    "quasiquote"; "let-syntax"; "letrec-syntax" ])) ->
       (* top-level macro use may expand into definitions *)
-      incr macro_depth;
-      if !macro_depth > 500 then
+      let kw = strip kw0 in
+      incr ctx.depth;
+      if !(ctx.depth) > 500 then
         err pos ("macro expansion too deep (looping?): " ^ kw);
       Fun.protect
-        ~finally:(fun () -> decr macro_depth)
+        ~finally:(fun () -> decr ctx.depth)
         (fun () ->
-          expand_tops (Macro.expand_use (Hashtbl.find !current_menv kw) form))
-  | _ -> [ expand_top d ]
+          expand_tops_in ctx
+            (Macro.expand_use ~hygiene:ctx.hygiene
+               (Hashtbl.find ctx.menv kw) form))
+  | _ -> [ expand_top_in ctx d ]
 
-let expand_program ?menv datums =
-  match menv with
-  | None -> with_menv (Macro.create_menv ()) (fun () ->
-      List.concat_map expand_tops datums)
-  | Some menv -> with_menv menv (fun () -> List.concat_map expand_tops datums)
+let expand_program ?hygiene ?menv datums =
+  let ctx = make_ctx ?hygiene ?menv () in
+  List.concat_map (expand_tops_in ctx) datums
 
-let expand_string ?menv src = expand_program ?menv (Sexp.read_all src)
+let expand_string ?hygiene ?menv src =
+  expand_program ?hygiene ?menv (Sexp.read_all src)
+
+let expand_tops ?hygiene ?menv d = expand_tops_in (make_ctx ?hygiene ?menv ()) d
+let expand_top ?hygiene ?menv d = expand_top_in (make_ctx ?hygiene ?menv ()) d
+let expand ?hygiene ?menv d = expand (make_ctx ?hygiene ?menv ()) d

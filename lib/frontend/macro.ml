@@ -3,6 +3,35 @@ exception Macro_error of string * Sexp.pos
 let err pos msg = raise (Macro_error (msg, pos))
 let p0 : Sexp.pos = { Sexp.line = 0; col = 0 }
 
+(* ------------------------------------------------------------------ *)
+(* Hygiene marks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Rename-based hygiene: every expansion of a macro use gets a fresh
+   mark, appended to the name of every template-introduced identifier
+   (a template symbol that is not a pattern variable).  The mark
+   character cannot appear in a symbol the reader produces, so marked
+   names can neither capture nor be captured by use-site identifiers of
+   the same source name: a marked binder binds exactly the identically
+   marked references the same expansion introduced.  Wherever an
+   identifier is instead resolved against the definition environment —
+   keyword dispatch, syntax-rules literals, global references, quoted
+   data, top-level define names — [strip_marks] recovers the source
+   name.  (Macro definition sites are top level, so their "definition
+   environment" for free identifiers is the global one; that is what
+   makes strip-at-resolution equivalent to the renaming semantics.) *)
+let mark_char = '\x01'
+
+let strip_marks s =
+  match String.index_opt s mark_char with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let mark_counter = Atomic.make 0
+
+let fresh_mark () =
+  Printf.sprintf "%c%d" mark_char (Atomic.fetch_and_add mark_counter 1)
+
 type rule = { pat : Sexp.t; tmpl : Sexp.t }
 type rules = { literals : string list; rules : rule list }
 type menv = (string, rules) Hashtbl.t
@@ -13,12 +42,14 @@ let create_menv () : menv = Hashtbl.create 16
    of bindings (one level per ellipsis). *)
 type binding = Single of Sexp.t | Multi of binding list
 
-let is_ellipsis = function Sexp.Sym ("...", _) -> true | _ -> false
+let is_ellipsis = function
+  | Sexp.Sym (s, _) -> strip_marks s = "..."
+  | _ -> false
 
 let parse_syntax_rules (d : Sexp.t) : rules =
   match d with
-  | Sexp.List (Sexp.Sym ("syntax-rules", _) :: Sexp.List (lits, _) :: rl, pos)
-    ->
+  | Sexp.List (Sexp.Sym (sr, _) :: Sexp.List (lits, _) :: rl, pos)
+    when strip_marks sr = "syntax-rules" ->
       let literals =
         List.map
           (function
@@ -44,7 +75,7 @@ let parse_syntax_rules (d : Sexp.t) : rules =
 (* Pattern variables appearing in a pattern (for empty-ellipsis binding). *)
 let rec pattern_vars literals (p : Sexp.t) acc =
   match p with
-  | Sexp.Sym ("_", _) | Sexp.Sym ("...", _) -> acc
+  | Sexp.Sym (s, _) when strip_marks s = "_" || strip_marks s = "..." -> acc
   | Sexp.Sym (s, _) -> if List.mem s literals then acc else s :: acc
   | Sexp.List (ps, _) | Sexp.Vec (ps, _) ->
       List.fold_left (fun acc p -> pattern_vars literals p acc) acc ps
@@ -57,10 +88,13 @@ exception No_match
 
 let rec match_pat literals (p : Sexp.t) (f : Sexp.t) bindings =
   match p with
-  | Sexp.Sym ("_", _) -> bindings
+  | Sexp.Sym (s, _) when strip_marks s = "_" -> bindings
   | Sexp.Sym (s, _) when List.mem s literals -> (
+      (* Literals match by source name: the definition environment of
+         both the macro and the use site is the global one, so a marked
+         [else] introduced by another expansion still means [else]. *)
       match f with
-      | Sexp.Sym (s', _) when s = s' -> bindings
+      | Sexp.Sym (s', _) when strip_marks s = strip_marks s' -> bindings
       | _ -> raise No_match)
   | Sexp.Sym (s, _) -> (s, Single f) :: bindings
   | Sexp.Int (n, _) -> (
@@ -200,7 +234,7 @@ and match_seq literals ps ptail ?improper_tail fs bindings =
 
 let rec template_vars (t : Sexp.t) acc =
   match t with
-  | Sexp.Sym ("...", _) -> acc
+  | Sexp.Sym (s, _) when strip_marks s = "..." -> acc
   | Sexp.Sym (s, _) -> s :: acc
   | Sexp.List (ts, _) | Sexp.Vec (ts, _) ->
       List.fold_left (fun acc t -> template_vars t acc) acc ts
@@ -209,27 +243,39 @@ let rec template_vars (t : Sexp.t) acc =
         (List.fold_left (fun acc t -> template_vars t acc) acc ts)
   | _ -> acc
 
-let rec instantiate bindings (t : Sexp.t) : Sexp.t =
+(* Instantiate a template: pattern variables substitute the matched
+   use-site forms (keeping their own positions); everything the template
+   itself contributes is stamped with the use-site position [upos] (so
+   downstream errors point at the macro use, not 0:0 or the definition)
+   and, when [mark] is non-empty, template-introduced identifiers get
+   the expansion's mark appended. *)
+let rec instantiate upos mark bindings (t : Sexp.t) : Sexp.t =
   match t with
-  | Sexp.Sym (s, pos) -> (
+  | Sexp.Sym (s, _) -> (
       match List.assoc_opt s bindings with
       | Some (Single f) -> f
       | Some (Multi _) ->
-          err pos ("syntax-rules: pattern variable " ^ s
+          err upos ("syntax-rules: pattern variable " ^ s
                    ^ " used without enough ellipses")
-      | None -> t)
-  | Sexp.List (ts, pos) -> Sexp.List (instantiate_seq bindings ts pos, pos)
-  | Sexp.Vec (ts, pos) -> Sexp.Vec (instantiate_seq bindings ts pos, pos)
-  | Sexp.Dotted (ts, final, pos) -> (
-      let heads = instantiate_seq bindings ts pos in
-      let tail = instantiate bindings final in
+      | None ->
+          if mark = "" || strip_marks s = "..." then Sexp.Sym (s, upos)
+          else Sexp.Sym (s ^ mark, upos))
+  | Sexp.List (ts, _) -> Sexp.List (instantiate_seq upos mark bindings ts, upos)
+  | Sexp.Vec (ts, _) -> Sexp.Vec (instantiate_seq upos mark bindings ts, upos)
+  | Sexp.Dotted (ts, final, _) -> (
+      let heads = instantiate_seq upos mark bindings ts in
+      let tail = instantiate upos mark bindings final in
       match tail with
-      | Sexp.List (more, _) -> Sexp.List (heads @ more, pos)
-      | Sexp.Dotted (more, f, _) -> Sexp.Dotted (heads @ more, f, pos)
-      | atom -> Sexp.Dotted (heads, atom, pos))
-  | atom -> atom
+      | Sexp.List (more, _) -> Sexp.List (heads @ more, upos)
+      | Sexp.Dotted (more, f, _) -> Sexp.Dotted (heads @ more, f, upos)
+      | atom -> Sexp.Dotted (heads, atom, upos))
+  | Sexp.Int (n, _) -> Sexp.Int (n, upos)
+  | Sexp.Float (f, _) -> Sexp.Float (f, upos)
+  | Sexp.Str (s, _) -> Sexp.Str (s, upos)
+  | Sexp.Bool (b, _) -> Sexp.Bool (b, upos)
+  | Sexp.Char (c, _) -> Sexp.Char (c, upos)
 
-and instantiate_seq bindings ts pos =
+and instantiate_seq upos mark bindings ts =
   match ts with
   | t :: e :: rest when is_ellipsis e ->
       (* expand t once per slice of its Multi-bound variables *)
@@ -242,7 +288,7 @@ and instantiate_seq bindings ts pos =
           (List.sort_uniq compare (template_vars t []))
       in
       if vars = [] then
-        err pos "syntax-rules: ellipsis template has no pattern variable";
+        err upos "syntax-rules: ellipsis template has no pattern variable";
       let slices =
         match List.assoc_opt (List.hd vars) bindings with
         | Some (Multi l) -> List.length l
@@ -252,7 +298,7 @@ and instantiate_seq bindings ts pos =
         (fun v ->
           match List.assoc_opt v bindings with
           | Some (Multi l) when List.length l <> slices ->
-              err pos "syntax-rules: mismatched ellipsis lengths"
+              err upos "syntax-rules: mismatched ellipsis lengths"
           | _ -> ())
         vars;
       let expansions =
@@ -266,19 +312,21 @@ and instantiate_seq bindings ts pos =
                 vars
               @ bindings
             in
-            instantiate bindings' t)
+            instantiate upos mark bindings' t)
       in
-      expansions @ instantiate_seq bindings rest pos
-  | t :: rest -> instantiate bindings t :: instantiate_seq bindings rest pos
+      expansions @ instantiate_seq upos mark bindings rest
+  | t :: rest ->
+      instantiate upos mark bindings t :: instantiate_seq upos mark bindings rest
   | [] -> []
 
-let expand_use (r : rules) (form : Sexp.t) : Sexp.t =
+let expand_use ?(hygiene = true) (r : rules) (form : Sexp.t) : Sexp.t =
   let pos = Sexp.pos_of form in
   let args =
     match form with
     | Sexp.List (_ :: args, _) -> args
     | _ -> err pos "macro use must be a list form"
   in
+  let mark = if hygiene then fresh_mark () else "" in
   let rec try_rules = function
     | [] -> err pos "no syntax-rules pattern matches this use"
     | { pat; tmpl } :: rest -> (
@@ -289,7 +337,7 @@ let expand_use (r : rules) (form : Sexp.t) : Sexp.t =
           | _ -> err (Sexp.pos_of pat) "syntax-rules: pattern must be a list"
         in
         match match_seq r.literals pat_args ptail args [] with
-        | bindings -> instantiate bindings tmpl
+        | bindings -> instantiate pos mark bindings tmpl
         | exception No_match -> try_rules rest)
   in
   try_rules r.rules

@@ -2,9 +2,16 @@
 
     Supports literals, the [_] wildcard, one ellipsis ([...]) per list
     level (with a fixed tail after it), nested ellipses, dotted patterns,
-    and vector patterns.  Expansion is {e unhygienic}: template identifiers
-    are resolved at the use site, like the rest of this expander
-    (documented limitation). *)
+    and vector patterns.
+
+    Expansion is hygienic by rename: each use gets a fresh mark, appended
+    to every template-introduced identifier, so macro-introduced binders
+    neither capture use-site identifiers nor are captured by them.
+    Identifiers are resolved against the definition environment by
+    stripping marks wherever a name meets a keyword table, a
+    syntax-rules literal, the global table, or quoted data
+    ({!strip_marks}).  [~hygiene:false] reproduces the historical
+    textual expansion. *)
 
 type rules
 (** A compiled [(syntax-rules (literal ...) (pattern template) ...)]. *)
@@ -14,9 +21,20 @@ exception Macro_error of string * Sexp.pos
 val parse_syntax_rules : Sexp.t -> rules
 (** Parse the [(syntax-rules ...)] form.  @raise Macro_error if malformed. *)
 
-val expand_use : rules -> Sexp.t -> Sexp.t
+val expand_use : ?hygiene:bool -> rules -> Sexp.t -> Sexp.t
 (** Expand one macro use (the whole form, keyword included) with the first
-    matching rule.  @raise Macro_error if no rule matches. *)
+    matching rule.  Template-contributed forms are stamped with the use
+    site's position; with [hygiene] (the default) template-introduced
+    identifiers additionally get a fresh mark.
+    @raise Macro_error if no rule matches. *)
+
+val strip_marks : string -> string
+(** The source name of a possibly marked identifier: the prefix before
+    the first hygiene mark.  Identity on reader-produced names. *)
+
+val mark_char : char
+(** The (unprintable) character that introduces a hygiene mark in an
+    identifier; printers render it legibly (see {!Ast.to_string}). *)
 
 type menv = (string, rules) Hashtbl.t
 (** Macro environment: keyword name -> rules. *)

@@ -282,7 +282,10 @@ and special vm sp args ~ret ~parent ~guards =
           (List.map (fun n -> sym n) (first @ List.rev (walk [] 0 parent)));
       return_to vm ~ret ~parent ~guards
   | Sp_eval ->
-      let code = Compiler.compile_eval ~menv:vm.menv vm.globals args.(0) in
+      let code =
+        Compiler.compile_eval ~hygiene:vm.hygiene ~menv:vm.menv vm.globals
+          args.(0)
+      in
       happly vm (Closure { code; frees = [||] }) [||] ~ret ~parent ~guards
   | Sp_stats ->
       let name =
@@ -460,8 +463,9 @@ let prim_deopt_call (vm : t) site =
   let stats = vm.stats in
   if stats.Stats.enabled then
     stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let g = Globals.get vm.globals site.ps_slot in
+  if not g.gdefined then
+    Values.err ("unbound variable: " ^ Globals.slot_name site.ps_slot) [];
   let slots = vm.pol.frame.hslots in
   let base = site.ps_disp + 2 in
   let args = Array.init site.ps_nargs (fun i -> slots.(base + i)) in
@@ -473,8 +477,9 @@ let prim_deopt_tail_call (vm : t) site =
   let stats = vm.stats in
   if stats.Stats.enabled then
     stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let g = Globals.get vm.globals site.ps_slot in
+  if not g.gdefined then
+    Values.err ("unbound variable: " ^ Globals.slot_name site.ps_slot) [];
   let cur = vm.pol.frame in
   let slots = cur.hslots in
   let base = site.ps_disp + 2 in

@@ -40,4 +40,16 @@ val eval :
   string ->
   Rt.value
 
+val eval_datum :
+  ?fuel:int ->
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  ?verify:bool ->
+  t ->
+  Sexp.t ->
+  Rt.value
+(** Like {!eval} for one already-read top-level datum, so a driver can
+    attribute failures to the datum's source position. *)
+
 val output : t -> string

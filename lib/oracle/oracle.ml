@@ -5,8 +5,13 @@ type oneshot_state = { shot : bool ref; promoted : bool ref }
 type t = {
   globals : Globals.t;
   menv : Macro.menv;
+  mutable hygiene : bool; (* the expander's hygiene switch for this session *)
   out : Buffer.t;
   stats : Stats.t;
+  hooks : Machine_hooks.t;
+      (* routes the process-shared output prims at [out] for the extent
+         of every [eval_tops]; the timer hooks stay dormant (the oracle
+         has no preemption: set is a no-op, get reads 0) *)
   mutable fuel : int; (* negative = unlimited *)
   mutable oneshots : oneshot_state list; (* outstanding one-shot captures *)
   mutable winders : winder list; (* native dynamic-wind extents, innermost
@@ -23,12 +28,16 @@ let eval_top_fwd :
 let create ?stats () =
   let out = Buffer.create 256 in
   let globals = Globals.create () in
-  Prims.install ~out globals;
+  Prims.install globals;
+  let hooks = Machine_hooks.default () in
+  hooks.Machine_hooks.out <- (fun () -> out);
   {
     globals;
     menv = Macro.create_menv ();
+    hygiene = true;
     out;
     stats = (match stats with Some s -> s | None -> Stats.create ());
+    hooks;
     fuel = -1;
     oneshots = [];
     winders = [];
@@ -37,6 +46,7 @@ let create ?stats () =
 let globals t = t.globals
 let stats t = t.stats
 let output t = Buffer.contents t.out
+let set_hygiene t b = t.hygiene <- b
 
 (* One interpreter step: the oracle's unit of work is an AST node or an
    application, so [instrs] counts steps rather than bytecode
@@ -168,8 +178,8 @@ and special t sp args k =
   | Sp_backtrace -> k Nil (* the oracle's control is OCaml closures *)
   | Sp_eval ->
       let tops =
-        Expander.with_menv t.menv (fun () ->
-            Expander.expand_tops (Expander.value_to_datum args.(0)))
+        Expander.expand_tops ~hygiene:t.hygiene ~menv:t.menv
+          (Expander.value_to_datum args.(0))
       in
       let rec go last = function
         | [] -> k last
@@ -194,9 +204,12 @@ let rec eval_exp t (env : env) (e : Ast.t) (k : value -> value) : value =
       match List.assoc_opt x env with
       | Some cell -> k !cell
       | None -> (
-          match Hashtbl.find_opt t.globals x with
-          | Some g when g.gdefined -> k g.gval
-          | _ -> Values.err ("unbound variable: " ^ x) []))
+          (* Lexically unbound: a global reference under the source
+             name (hygiene marks stripped). *)
+          match Globals.find_opt t.globals (Macro.strip_marks x) with
+          | Some g -> k g.gval
+          | None ->
+              Values.err ("unbound variable: " ^ Macro.strip_marks x) []))
   | Ast.If (tst, c, a) ->
       eval_exp t env tst (fun v ->
           if Values.is_truthy v then eval_exp t env c k else eval_exp t env a k)
@@ -206,12 +219,15 @@ let rec eval_exp t (env : env) (e : Ast.t) (k : value -> value) : value =
           | Some cell ->
               cell := v;
               k Void
-          | None -> (
-              match Hashtbl.find_opt t.globals x with
-              | Some g when g.gdefined ->
-                  g.gval <- v;
-                  k Void
-              | _ -> Values.err ("set! of unbound variable: " ^ x) []))
+          | None ->
+              let g = Globals.cell t.globals (Macro.strip_marks x) in
+              if g.gdefined then begin
+                g.gval <- v;
+                k Void
+              end
+              else
+                Values.err
+                  ("set! of unbound variable: " ^ Macro.strip_marks x) [])
   | Ast.Begin es ->
       let rec go = function
         | [] -> k Void
@@ -271,8 +287,8 @@ and make_closure t env (l : Ast.lambda) =
 
 let eval_top t (top : Ast.top) (k : value -> value) =
   match top with
-  | Ast.Expr e -> eval_exp t [] e k
-  | Ast.Define (x, e) ->
+  | Ast.Expr (e, _) -> eval_exp t [] e k
+  | Ast.Define (x, e, _) ->
       eval_exp t [] e (fun v ->
           Globals.define t.globals x v;
           k Void)
@@ -285,7 +301,11 @@ let eval_tops ?(fuel = -1) t tops =
     | [] -> last
     | top :: rest -> eval_top t top (fun v -> go v rest)
   in
-  go Void tops
+  Machine_hooks.with_hooks t.hooks (fun () -> go Void tops)
 
 let eval ?fuel t src =
-  eval_tops ?fuel t (Expander.expand_string ~menv:t.menv src)
+  eval_tops ?fuel t
+    (Expander.expand_string ~hygiene:t.hygiene ~menv:t.menv src)
+
+let eval_datum ?fuel t d =
+  eval_tops ?fuel t (Expander.expand_tops ~hygiene:t.hygiene ~menv:t.menv d)

@@ -26,9 +26,18 @@ val create : ?stats:Stats.t -> unit -> t
 val globals : t -> Globals.t
 val stats : t -> Stats.t
 
+val set_hygiene : t -> bool -> unit
+(** Switch the expander's hygiene for this session's subsequent
+    evaluations (default on); [false] reproduces the historical textual
+    macro expansion. *)
+
 val eval : ?fuel:int -> t -> string -> Rt.value
 (** Run a program; the last form's value.  [fuel] bounds interpreter steps.
     @raise Rt.Scheme_error / @raise Rt.Shot_continuation as the VMs do. *)
+
+val eval_datum : ?fuel:int -> t -> Sexp.t -> Rt.value
+(** Like {!eval} for one already-read top-level datum, so a driver can
+    attribute failures to the datum's source position. *)
 
 val eval_tops : ?fuel:int -> t -> Ast.top list -> Rt.value
 val output : t -> string

@@ -102,11 +102,12 @@ let backpatch code =
       | _ -> ())
     code.instrs
 
-let make_code ~name ~arity ~frame_words instrs =
+let make_code ?(pos = (0, 0)) ~name ~arity ~frame_words instrs =
   validate ~name ~frame_words instrs;
+  let cline, ccol = pos in
   let code =
     { instrs; cname = name; arity; frame_words; timer_ret = Void;
-      templ = No_template }
+      templ = No_template; cline; ccol }
   in
   backpatch code;
   code
@@ -133,9 +134,9 @@ let instr_to_string = function
   | Free_ref i -> Printf.sprintf "free-ref %d" i
   | Free_box_ref i -> Printf.sprintf "free-box-ref %d" i
   | Free_box_set i -> Printf.sprintf "free-box-set %d" i
-  | Global_ref g -> "global-ref " ^ g.gname
-  | Global_set g -> "global-set " ^ g.gname
-  | Global_define g -> "global-define " ^ g.gname
+  | Global_ref s -> "global-ref " ^ Globals.slot_name s
+  | Global_set s -> "global-set " ^ Globals.slot_name s
+  | Global_define s -> "global-define " ^ Globals.slot_name s
   | Make_closure (c, caps) ->
       let cap_to_string = function
         | Cap_local i -> Printf.sprintf "l%d" i
@@ -156,7 +157,8 @@ let instr_to_string = function
       Printf.sprintf "const-push %s %d" (Values.write_string v) i
   | Local_push (i, j) -> Printf.sprintf "local-push %d %d" i j
   | Free_push (i, j) -> Printf.sprintf "free-push %d %d" i j
-  | Global_push (g, i) -> Printf.sprintf "global-push %s %d" g.gname i
+  | Global_push (s, i) ->
+      Printf.sprintf "global-push %s %d" (Globals.slot_name s) i
   | Prim_call s ->
       Printf.sprintf "prim-call %s disp=%d nargs=%d" s.ps_prim.pname s.ps_disp
         s.ps_nargs

@@ -14,6 +14,7 @@ val validate : name:string -> frame_words:int -> Rt.instr array -> unit
     @raise Invalid_argument naming the code and the violation. *)
 
 val make_code :
+  ?pos:int * int ->
   name:string ->
   arity:Rt.arity ->
   frame_words:int ->
@@ -22,7 +23,9 @@ val make_code :
 (** Validates the instruction stream (non-empty, branch targets in range,
     final instruction transfers control — the invariants that make the
     VM's [Array.unsafe_get] instruction fetch sound) and interns the
-    static return address of every call site via {!backpatch}.
+    static return address of every call site via {!backpatch}.  [pos] is
+    the source line:col of the defining form, recorded on the code
+    object for diagnostics; it defaults to [0, 0] (synthetic code).
     @raise Invalid_argument on malformed code. *)
 
 val backpatch : Rt.code -> unit

@@ -76,6 +76,11 @@ and code = {
   mutable templ : tmpl;                  (* closure-compiled template cache
                                             ([No_template] until the closure
                                             backend compiles this code) *)
+  cline : int;                           (* source position of the defining
+                                            form; 0:0 = synthetic code (the
+                                            runtime cannot see Sexp.pos, so
+                                            the pair is carried as ints) *)
+  ccol : int;
 }
 
 and arity = Exactly of int | At_least of int
@@ -90,9 +95,9 @@ and instr =
   | Free_ref of int                      (* acc := clos.frees.(i) *)
   | Free_box_ref of int
   | Free_box_set of int
-  | Global_ref of global
-  | Global_set of global
-  | Global_define of global
+  | Global_ref of int                    (* acc := cells.(slot) (bound check) *)
+  | Global_set of int
+  | Global_define of int
   | Make_closure of code * capture array
   | Branch of int                        (* absolute pc *)
   | Branch_false of int
@@ -117,7 +122,8 @@ and instr =
   | Const_push of value * int            (* frame.(i) := v *)
   | Local_push of int * int              (* frame.(j) := frame.(i) *)
   | Free_push of int * int               (* frame.(j) := frees.(i) *)
-  | Global_push of global * int          (* frame.(i) := global (bound check) *)
+  | Global_push of int * int             (* frame.(i) := cells.(slot) (bound
+                                            check) *)
   (* Inline-cached calls of known pure primitives: the callee global was
      bound to [ps_guard] when the site was compiled.  The guard re-checks
      [ps_global.gval == ps_guard] at every execution; on mismatch ([set!]
@@ -188,7 +194,9 @@ and prim_site = {
   ps_disp : int;                         (* frame displacement of the call
                                             area, as in [Call] *)
   ps_nargs : int;
-  ps_global : global;                    (* cell the callee was loaded from *)
+  ps_slot : int;                         (* global slot the callee was loaded
+                                            from (resolved against the running
+                                            session's table) *)
   ps_guard : value;                      (* the [Prim] value cached at
                                             compile time (physical witness) *)
   ps_prim : prim;                        (* same prim, for disassembly *)
@@ -201,7 +209,8 @@ and prim_site = {
 and capture = Cap_local of int | Cap_free of int
 
 and global = {
-  gname : string;
+  (* One session's cell for a global slot; the slot→name mapping lives
+     in the process-wide interner ([Globals.slot_name]). *)
   mutable gval : value;
   mutable gdefined : bool;
 }

@@ -36,6 +36,7 @@ type t = {
   peephole : bool;
   regalloc : bool;
   verify : bool;
+  hygiene : bool;
   mutable par : parpool option;
 }
 
@@ -53,6 +54,7 @@ and parpool = {
   p_fuel : int option;
   p_corpus : bool; (* workers preload the benchmark corpus *)
   p_backend : backend;
+  p_hygiene : bool;
   p_optimize : bool;
   p_peephole : bool;
   p_regalloc : bool;
@@ -91,9 +93,16 @@ let eval_machine ?fuel t src =
         ~regalloc:t.regalloc ~verify:t.verify vm src
   | M_oracle o -> Oracle.eval ?fuel o src
 
+let machine_globals = function
+  | M_stack vm -> Vm.globals vm
+  | M_closure vm -> Closurevm.globals vm
+  | M_heap vm -> Heapvm.globals vm
+  | M_oracle o -> Oracle.globals o
+
 let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     ?(scheme_winders = false) ?(corpus = false) ?(optimize = false)
-    ?(peephole = true) ?(regalloc = true) ?(verify = false) () =
+    ?(peephole = true) ?(regalloc = true) ?(verify = false)
+    ?(hygiene = true) () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let machine =
     match backend with
@@ -102,17 +111,33 @@ let create ?(backend = Stack Control.default_config) ?stats ?(prelude = true)
     | Heap -> M_heap (Heapvm.create ~stats ())
     | Oracle -> M_oracle (Oracle.create ~stats ())
   in
+  (match machine with
+  | M_stack vm -> vm.Engine.hygiene <- hygiene
+  | M_closure vm -> vm.Engine.hygiene <- hygiene
+  | M_heap vm -> vm.Engine.hygiene <- hygiene
+  | M_oracle o -> Oracle.set_hygiene o hygiene);
   let t =
     { which = backend; machine; stats; optimize; peephole; regalloc; verify;
-      par = None }
+      hygiene; par = None }
   in
-  if prelude then begin
-    ignore
-      (eval_machine t
-         (if scheme_winders then Prelude.source_scheme_winders
-          else Prelude.source));
-    ignore (eval_machine t Parprelude.source)
-  end;
+  (if prelude then
+     match machine with
+     | M_oracle _ ->
+         (* The oracle interprets ASTs and represents procedures as
+            [Ofun]s, so it cannot consume the bytecode image. *)
+         ignore
+           (eval_machine t
+              (if scheme_winders then Prelude.source_scheme_winders
+               else Prelude.source));
+         ignore (eval_machine t Parprelude.source)
+     | M_stack _ | M_closure _ | M_heap _ ->
+         (* Compile-once shared prelude: copy the image's global-slot
+            delta instead of re-expanding/re-compiling/re-executing the
+            sources — the session dispatches zero instructions before
+            its first user form (pinned in test_perf_counters). *)
+         Prelude_image.install
+           (Prelude_image.get ~scheme_winders ~optimize ~peephole ~regalloc)
+           (machine_globals machine));
   if corpus then begin
     ignore (eval_machine t Programs.all_defs);
     ignore (eval_machine t Threads.scheduler);
@@ -156,6 +181,33 @@ let eval ?fuel t src =
 
 let eval_string ?fuel t src = Values.write_string (eval ?fuel t src)
 
+(* Per-form evaluation: one already-read top-level datum, so the caller
+   can attribute a failure to the datum's own source position.  The par
+   replay log stores the datum re-rendered as text (positions are
+   irrelevant to replay). *)
+let eval_datum ?fuel t d =
+  let v =
+    match t.machine with
+    | M_stack vm ->
+        Vm.eval_datum ?fuel ~optimize:t.optimize ~peephole:t.peephole
+          ~regalloc:t.regalloc ~verify:t.verify vm d
+    | M_closure vm ->
+        Closurevm.eval_datum ?fuel ~optimize:t.optimize ~peephole:t.peephole
+          ~regalloc:t.regalloc ~verify:t.verify vm d
+    | M_heap vm ->
+        Heapvm.eval_datum ?fuel ~optimize:t.optimize ~peephole:t.peephole
+          ~regalloc:t.regalloc ~verify:t.verify vm d
+    | M_oracle o -> Oracle.eval_datum ?fuel o d
+  in
+  (match t.par with
+  | Some pool when par_binding_form d ->
+      Mutex.lock pool.p_lock;
+      pool.p_log <- Sexp.to_string d :: pool.p_log;
+      pool.p_loglen <- pool.p_loglen + 1;
+      Mutex.unlock pool.p_lock
+  | _ -> ());
+  v
+
 let load_corpus t =
   ignore (eval_machine t Programs.all_defs);
   ignore (eval_machine t Threads.scheduler);
@@ -176,12 +228,7 @@ let control t =
   | M_closure vm -> Some (Closurevm.control vm)
   | _ -> None
 
-let globals t =
-  match t.machine with
-  | M_stack vm -> Vm.globals vm
-  | M_closure vm -> Closurevm.globals vm
-  | M_heap vm -> Heapvm.globals vm
-  | M_oracle o -> Oracle.globals o
+let globals t = machine_globals t.machine
 
 (* ------------------------------------------------------------------ *)
 (* Data-parallel pool (par-map / par-reduce / par-for-each)            *)
@@ -198,7 +245,8 @@ let par_worker_session pool i =
   in
   let s =
     create ~backend ~stats ~optimize:pool.p_optimize ~peephole:pool.p_peephole
-      ~regalloc:pool.p_regalloc ~verify:pool.p_verify ()
+      ~regalloc:pool.p_regalloc ~verify:pool.p_verify
+      ~hygiene:pool.p_hygiene ()
   in
   if pool.p_corpus then load_corpus s;
   Stats.reset stats;
@@ -365,7 +413,7 @@ let par_proc_name t v =
   | Rt.Prim p -> p.Rt.pname
   | Rt.Closure _ | Rt.Ofun _ -> (
       let found =
-        Hashtbl.fold
+        Globals.fold
           (fun name (cell : Rt.global) acc ->
             match acc with
             | Some _ -> acc
@@ -550,6 +598,7 @@ let par_attach ?(chunk = 2) ?(steal = true) ?(domains = true) ?fuel
       p_fuel = fuel;
       p_corpus = corpus;
       p_backend = t.which;
+      p_hygiene = t.hygiene;
       p_optimize = t.optimize;
       p_peephole = t.peephole;
       p_regalloc = t.regalloc;
@@ -641,10 +690,12 @@ module Pool = struct
      prelude/corpus load so each shard reports the measured program
      alone, making per-shard counters comparable with a single
      sequential session running the same source. *)
-  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify i
-      src =
+  let run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify
+      ~hygiene i src =
     let stats = Stats.create () in
-    let t = create ~backend ~stats ~optimize ~peephole ~regalloc ~verify () in
+    let t =
+      create ~backend ~stats ~optimize ~peephole ~regalloc ~verify ~hygiene ()
+    in
     if corpus then load_corpus t;
     Stats.reset stats;
     let value = eval ?fuel t src in
@@ -652,13 +703,13 @@ module Pool = struct
 
   let run ?(backend = Stack Control.default_config) ?fuel ?(corpus = false)
       ?(optimize = false) ?(peephole = true) ?(regalloc = true)
-      ?(verify = false) ?domains ~jobs
+      ?(verify = false) ?(hygiene = true) ?domains ~jobs
       src =
     let jobs = max 1 jobs in
     let parallel = match domains with Some b -> b | None -> jobs > 1 in
     let go i =
-      run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify i
-        src
+      run_shard ~backend ~fuel ~corpus ~optimize ~peephole ~regalloc ~verify
+        ~hygiene i src
     in
     let idx = List.init jobs Fun.id in
     if parallel then

@@ -22,7 +22,8 @@ type t
 val create :
   ?backend:backend -> ?stats:Stats.t -> ?prelude:bool ->
   ?scheme_winders:bool -> ?corpus:bool -> ?optimize:bool ->
-  ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> unit -> t
+  ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> ?hygiene:bool ->
+  unit -> t
 (** Defaults: [Stack Control.default_config], prelude loaded with the
     native winder protocol ([?scheme_winders:true] loads the historical
     Scheme-level [%winders] implementation instead, for differential
@@ -33,7 +34,11 @@ val create :
     push-based encoding while retaining the other fusions).
     [?verify:true] runs the {!Verify} static bytecode verifier over
     every code object the session compiles — prelude and corpus
-    included — raising [Verify.Error] on any violated invariant. *)
+    included — raising [Verify.Error] on any violated invariant.
+    [?hygiene:false] turns off the expander's hygienic [syntax-rules]
+    renaming (see {!Expander}), reproducing the historical textual
+    expansion; worker shards of an attached par pool inherit the
+    switch. *)
 
 val backend : t -> backend
 val eval : ?fuel:int -> t -> string -> Rt.value
@@ -41,6 +46,12 @@ val eval : ?fuel:int -> t -> string -> Rt.value
 
 val eval_string : ?fuel:int -> t -> string -> string
 (** Like {!eval} but renders the result with [write]. *)
+
+val eval_datum : ?fuel:int -> t -> Sexp.t -> Rt.value
+(** Evaluate one already-read top-level datum.  Drivers that read a
+    program themselves and feed it form by form can attribute any
+    failure — including runtime errors — to the failing datum's source
+    position (see {!Diag}). *)
 
 val load_corpus : t -> unit
 (** Load the benchmark program definitions (tak, ctak, fib, ack, deep,
@@ -114,8 +125,8 @@ module Pool : sig
 
   val run :
     ?backend:backend -> ?fuel:int -> ?corpus:bool -> ?optimize:bool ->
-    ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> ?domains:bool ->
-    jobs:int -> string -> shard list
+    ?peephole:bool -> ?regalloc:bool -> ?verify:bool -> ?hygiene:bool ->
+    ?domains:bool -> jobs:int -> string -> shard list
   (** Evaluate [src] on [jobs] fresh sessions and return the shards in
       index order.  [domains] forces the execution mode: [true] spawns
       one domain per shard, [false] runs them sequentially on the

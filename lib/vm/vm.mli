@@ -51,5 +51,17 @@ val eval :
     [true]) its register-lowering stage; [optimize] (default [false])
     the AST-level constant folder. *)
 
+val eval_datum :
+  ?fuel:int ->
+  ?optimize:bool ->
+  ?peephole:bool ->
+  ?regalloc:bool ->
+  ?verify:bool ->
+  t ->
+  Sexp.t ->
+  Rt.value
+(** Like {!eval} for one already-read top-level datum, so a driver can
+    attribute failures to the datum's source position. *)
+
 val output : t -> string
 (** Text emitted by [display]/[write]/[newline] so far. *)

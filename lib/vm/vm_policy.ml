@@ -277,7 +277,10 @@ and special vm sp nargs =
       do_return vm
   | Sp_eval ->
       let datum = seg.(fp + 2) in
-      let code = Compiler.compile_eval ~menv:vm.menv vm.globals datum in
+      let code =
+        Compiler.compile_eval ~hygiene:vm.hygiene ~menv:vm.menv vm.globals
+          datum
+      in
       let clos = Closure { code; frees = [||] } in
       seg.(fp + 1) <- clos;
       apply vm clos fp 0
@@ -439,8 +442,9 @@ let enter (vm : t) =
 let prim_deopt_call (vm : t) site =
   let m = vm.pol in
   let stats = vm.stats in
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let g = Globals.get vm.globals site.ps_slot in
+  if not g.gdefined then
+    Values.err ("unbound variable: " ^ Globals.slot_name site.ps_slot) [];
   let fp = m.Control.fp in
   let seg = m.Control.sr.seg in
   let nfp = fp + site.ps_disp in
@@ -457,8 +461,9 @@ let prim_deopt_tail_call (vm : t) site =
   let stats = vm.stats in
   if stats.Stats.enabled then
     stats.Stats.prim_deopts <- stats.Stats.prim_deopts + 1;
-  let g = site.ps_global in
-  if not g.gdefined then Values.err ("unbound variable: " ^ g.gname) [];
+  let g = Globals.get vm.globals site.ps_slot in
+  if not g.gdefined then
+    Values.err ("unbound variable: " ^ Globals.slot_name site.ps_slot) [];
   let fp = m.Control.fp in
   let seg = m.Control.sr.seg in
   let f = g.gval in

@@ -127,7 +127,7 @@ let suite =
 (* Optimizer unit tests. *)
 let opt_one src =
   match Expander.expand_string src with
-  | [ Ast.Expr e ] -> Optimize.expr e
+  | [ Ast.Expr (e, _) ] -> Optimize.expr e
   | _ -> Alcotest.fail "expected one expression"
 
 let opt_suite =

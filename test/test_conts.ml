@@ -289,15 +289,20 @@ let mechanics_cases =
         let stats = Stats.create () in
         let s = Scheme.create ~backend:(Scheme.Stack Control.default_config)
             ~stats () in
+        (* The capture sits under a live [+] frame: a one-shot captured
+           at a segment's base reuses the underflow link instead of
+           sealing, so a tail-position capture chain would provision
+           nothing after the first.  The arithmetic keeps each capture
+           non-empty, forcing the whole-segment seal every time. *)
         let v =
           Scheme.eval_string ~fuel:Tutil.default_fuel s
             {|(define ks '())
               (define (hold n)
                 (if (= n 0)
                     (length ks)
-                    (%call/1cc (lambda (k)
+                    (+ 0 (%call/1cc (lambda (k)
                       (set! ks (cons k ks))
-                      (hold (- n 1))))))
+                      (hold (- n 1)))))))
               (hold 8)|}
         in
         Alcotest.(check string) "held" "8" v;

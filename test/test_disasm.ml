@@ -8,15 +8,16 @@ let case = Tutil.case
 let exemplars =
   (* one instruction per constructor, every constructor represented *)
   let g = Globals.create () in
-  Prims.install ~out:(Buffer.create 64) g;
-  let cell = Globals.cell g "car" in
+  Prims.install g;
+  let slot = Globals.slot "car" in
+  let cell = Globals.get g slot in
   let prim = match cell.Rt.gval with Rt.Prim p -> p | _ -> assert false in
   let fn = match prim.Rt.pfn with Rt.Pure f -> f | _ -> assert false in
   let site =
     {
       Rt.ps_disp = 2;
       ps_nargs = 1;
-      ps_global = cell;
+      ps_slot = slot;
       ps_guard = cell.Rt.gval;
       ps_prim = prim;
       ps_fn = fn;
@@ -37,9 +38,9 @@ let exemplars =
     Rt.Free_ref 1;
     Rt.Free_box_ref 1;
     Rt.Free_box_set 1;
-    Rt.Global_ref cell;
-    Rt.Global_set cell;
-    Rt.Global_define cell;
+    Rt.Global_ref slot;
+    Rt.Global_set slot;
+    Rt.Global_define slot;
     Rt.Make_closure (child, [| Rt.Cap_local 2; Rt.Cap_free 0 |]);
     Rt.Branch 4;
     Rt.Branch_false 4;
@@ -51,7 +52,7 @@ let exemplars =
     Rt.Const_push (Rt.Int 7, 3);
     Rt.Local_push (2, 3);
     Rt.Free_push (1, 3);
-    Rt.Global_push (cell, 3);
+    Rt.Global_push (slot, 3);
     Rt.Prim_call site;
     Rt.Prim_call1 site;
     Rt.Prim_call2 site;
@@ -102,7 +103,7 @@ let suite =
           (List.length (List.sort_uniq compare renders)));
     case "disassemble_deep lists nested closures" (fun () ->
         let g = Globals.create () in
-        Prims.install ~out:(Buffer.create 64) g;
+        Prims.install g;
         let codes =
           Compiler.compile_string g "(define (f x) (lambda (y) (+ x y)))"
         in

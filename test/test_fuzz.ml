@@ -92,7 +92,7 @@ let stage_combos =
 let verify_accepts_case =
   case "verifier accepts every generated program under every combo" (fun () ->
       let g = Globals.create () in
-      Prims.install ~out:(Buffer.create 64) g;
+      Prims.install g;
       List.iter
         (fun src ->
           List.iter

@@ -12,6 +12,8 @@ let () =
       ("features", Test_features.suite);
       ("cml", Test_cml.suite);
       ("macros", Test_macros.suite);
+      ("hygiene", Test_hygiene.suite);
+      ("diag", Test_diag.suite);
       ("peephole", Test_peephole.suite);
       ("regalloc", Test_regalloc.suite);
       ("perf-counters", Test_perf_counters.suite);

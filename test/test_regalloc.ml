@@ -23,13 +23,13 @@ let fuel = Tutil.default_fuel
 (* Disassembler coverage                                               *)
 (* ------------------------------------------------------------------ *)
 
-let dummy_global = { Rt.gname = "x"; gval = Rt.Void; gdefined = true }
+let dummy_slot = Globals.slot "x"
 
 let dummy_site =
   {
     Rt.ps_disp = 3;
     ps_nargs = 2;
-    ps_global = dummy_global;
+    ps_slot = dummy_slot;
     ps_guard = Rt.Void;
     ps_prim = { Rt.pname = "+"; parity = Rt.At_least 0; pfn = Rt.Pure (fun _ -> Rt.Void) };
     ps_fn = (fun _ -> Rt.Void);
@@ -56,9 +56,9 @@ let disasm_table =
     (Rt.Free_ref 0, "free-ref 0");
     (Rt.Free_box_ref 1, "free-box-ref 1");
     (Rt.Free_box_set 2, "free-box-set 2");
-    (Rt.Global_ref dummy_global, "global-ref x");
-    (Rt.Global_set dummy_global, "global-set x");
-    (Rt.Global_define dummy_global, "global-define x");
+    (Rt.Global_ref dummy_slot, "global-ref x");
+    (Rt.Global_set dummy_slot, "global-set x");
+    (Rt.Global_define dummy_slot, "global-define x");
     ( Rt.Make_closure (dummy_code, [| Rt.Cap_local 1; Rt.Cap_free 2 |]),
       "make-closure body [l1 f2]" );
     (Rt.Branch 7, "branch 7");
@@ -72,7 +72,7 @@ let disasm_table =
     (Rt.Const_push (Rt.Int 1, 5), "const-push 1 5");
     (Rt.Local_push (2, 5), "local-push 2 5");
     (Rt.Free_push (1, 6), "free-push 1 6");
-    (Rt.Global_push (dummy_global, 4), "global-push x 4");
+    (Rt.Global_push (dummy_slot, 4), "global-push x 4");
     (Rt.Prim_call dummy_site, "prim-call + disp=3 nargs=2");
     (Rt.Prim_call1 dummy_site, "prim-call1 + disp=3");
     (Rt.Prim_call2 dummy_site, "prim-call2 + disp=3");

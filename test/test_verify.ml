@@ -15,7 +15,7 @@ let case = Tutil.case
 
 let globals_with_prims () =
   let g = Globals.create () in
-  Prims.install ~out:(Buffer.create 64) g;
+  Prims.install g;
   g
 
 let corpus_sources =
@@ -104,6 +104,8 @@ let raw ?(name = "bad") ?(arity = Rt.Exactly 0) ?(backpatch = true) ~fw instrs
       frame_words = fw;
       timer_ret = Rt.Void;
       templ = Rt.No_template;
+      cline = 0;
+      ccol = 0;
     }
   in
   if backpatch then Bytecode.backpatch c;
@@ -112,7 +114,8 @@ let raw ?(name = "bad") ?(arity = Rt.Exactly 0) ?(backpatch = true) ~fw instrs
 let prim_site =
   let g = globals_with_prims () in
   fun ?(name = "car") ?(disp = 2) ?(nargs = 1) () ->
-    let cell = Globals.cell g name in
+    let slot = Globals.slot name in
+    let cell = Globals.get g slot in
     let prim =
       match cell.Rt.gval with Rt.Prim p -> p | _ -> assert false
     in
@@ -120,7 +123,7 @@ let prim_site =
     {
       Rt.ps_disp = disp;
       ps_nargs = nargs;
-      ps_global = cell;
+      ps_slot = slot;
       ps_guard = cell.Rt.gval;
       ps_prim = prim;
       ps_fn = fn;
